@@ -1,0 +1,81 @@
+// Global-compensation ablation (§4.1.3) — Marsit with and without the
+// compensation vectors, with and without periodic full-precision rounds, on
+// the digit task.
+//
+// What compensation does: it makes the sequence exactly track the
+// full-precision SGD trajectory in expectation (the paper's auxiliary
+// ỹ_t = x̃_t − c̄_t argument), recovering the magnitude information the
+// sign transmission discards.  The cost is pacing: the compensated updates
+// advance at the local-SGD rate η_l·‖u‖ instead of the sign-descent rate
+// η_s per element.  In the paper's regime (8192-sample batches, thousands
+// of rounds) that trade wins on final accuracy; at this reproduction's
+// micro-batches and short budgets the uncompensated sign descent converges
+// faster at fixed rounds — the bench reports both so the trade-off is
+// visible rather than asserted.
+#include "bench_util.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/models.hpp"
+
+using namespace marsit;
+using namespace marsit::bench;
+
+int main(int argc, char** argv) {
+  quiet_logs();
+  const std::size_t rounds = arg_override(argc, argv, "--rounds", 240);
+
+  print_header(
+      "Ablation: Marsit's global compensation mechanism (digits/MLP)",
+      {"compensation makes Marsit track exact SGD (unbiased, the Thm-1 "
+       "guarantee) at SGD pace;",
+       "uncompensated sign descent moves eta_s/element/round - faster at "
+       "fixed rounds, no guarantee"});
+
+  SyntheticDigits digits;
+  auto factory = [&digits] {
+    return make_mlp(digits.sample_size(), {48}, digits.num_classes());
+  };
+
+  struct Variant {
+    std::string label;
+    bool use_compensation;
+    std::size_t k;
+  };
+  const std::vector<Variant> variants = {
+      {"Marsit (comp, K=rounds/4)", true, rounds / 4},
+      {"Marsit (comp, K=inf)", true, 0},
+      {"Marsit (no comp, K=rounds/4)", false, rounds / 4},
+      {"Marsit (no comp, K=inf)", false, 0},
+  };
+
+  TextTable table({"variant", "final acc (%)", "best acc (%)"});
+  for (const Variant& variant : variants) {
+    MarsitOptions options;
+    options.eta_s = 2e-3f;
+    options.full_precision_period = variant.k;
+    options.full_precision_max_norm = 0.5f;
+    options.use_compensation = variant.use_compensation;
+    MarsitSync strategy(ring_config(4), options);
+
+    TrainerConfig config;
+    config.batch_size_per_worker = 32;
+    config.eta_l = 0.05f;
+    config.rounds = rounds;
+    config.eval_interval = rounds / 6;
+    config.eval_samples = 512;
+    config.seed = 14;
+
+    DistributedTrainer trainer(digits, factory, strategy, config);
+    const TrainResult result = trainer.train();
+    table.add_row({variant.label,
+                   format_fixed(100.0 * result.final_test_accuracy, 1),
+                   format_fixed(100.0 * result.best_test_accuracy, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: all variants learn; the compensated rows "
+               "advance at the exact-SGD\npace (slower at this fixed budget "
+               "but carrying Theorem 1's guarantee), the\nuncompensated rows "
+               "at the faster sign-descent pace (no guarantee).  The\npaper's "
+               "large-batch regime is where the compensated trade wins on "
+               "final\naccuracy (see EXPERIMENTS.md).\n";
+  return 0;
+}

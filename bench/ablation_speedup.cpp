@@ -1,0 +1,62 @@
+// Theorem 1 (empirical) — linear speedup in the worker count: with the
+// theory's stepsize scaling, more workers reach a lower stationary gradient
+// norm in the same number of rounds, for both PSGD and Marsit.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/distributed_sgd.hpp"
+#include "tensor/ops.hpp"
+
+using namespace marsit;
+using namespace marsit::bench;
+
+int main(int argc, char** argv) {
+  quiet_logs();
+  const std::size_t rounds = arg_override(argc, argv, "--rounds", 400);
+  const std::size_t d = 256;
+  const double sigma = 2.0;
+
+  print_header(
+      "Theorem 1 ablation: linear speedup in M on a noisy quadratic",
+      {"min_t E||grad F||^2 = O(1/sqrt(MT)) — the gradient-norm floor "
+       "shrinks as workers are added"});
+
+  TextTable table({"M", "PSGD  E||g||^2", "Marsit  E||g||^2",
+                   "Marsit traffic vs PSGD"});
+
+  for (std::size_t m : {2u, 4u, 8u, 16u, 32u}) {
+    const auto objective = make_quadratic_objective(d, m, sigma, 33);
+    Tensor x0(d);
+    fill(x0.span(), 3.0f);
+
+    DistributedSgdOptions options;
+    options.eta_l = 0.05f;
+    options.rounds = rounds;
+    options.eval_interval = rounds / 4;
+
+    PsgdSync psgd(ring_config(m, 33));
+    const auto psgd_trace = run_distributed_sgd(psgd, objective, x0, options);
+
+    MarsitOptions marsit_options;
+    marsit_options.eta_s = 0.02f;
+    marsit_options.full_precision_period = 25;
+    MarsitSync marsit(ring_config(m, 33), marsit_options);
+    DistributedSgdOptions marsit_run = options;
+    marsit_run.eta_l = 0.02f;
+    const auto marsit_trace =
+        run_distributed_sgd(marsit, objective, x0, marsit_run);
+
+    table.add_row({std::to_string(m),
+                   format_fixed(psgd_trace.grad_norms_sq.back(), 3),
+                   format_fixed(marsit_trace.grad_norms_sq.back(), 3),
+                   format_fixed(100.0 * marsit_trace.total_wire_bits /
+                                    psgd_trace.total_wire_bits,
+                                1) +
+                       " %"});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: both gradient-norm columns decrease "
+               "monotonically (up to noise)\nas M grows — the linear-speedup "
+               "signature.\n";
+  return 0;
+}

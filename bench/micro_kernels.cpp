@@ -1,0 +1,126 @@
+// google-benchmark microbenchmarks for the hot kernels: packed Bernoulli
+// generation, the ⊙ combine, sign packing, SSDM's stochastic sign, Elias
+// coding, GEMM, and the collective timing schedules themselves.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "collectives/timing.hpp"
+#include "compress/elias.hpp"
+#include "compress/sign_codec.hpp"
+#include "core/one_bit.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+namespace {
+
+void BM_BernoulliWord(benchmark::State& state) {
+  Rng rng(1);
+  const double p = 1.0 / 7.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli_word(p));
+  }
+}
+BENCHMARK(BM_BernoulliWord);
+
+void BM_OneBitCombine(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  BitVector a(d), b(d);
+  a.fill(true);
+  for (std::size_t i = 0; i < d; i += 3) {
+    b.set(i, true);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_bit_combine(a, 3, b, 1, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
+}
+BENCHMARK(BM_OneBitCombine)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PackSigns(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<float> g(d);
+  fill_normal({g.data(), d}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pack_signs({g.data(), d}));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
+}
+BENCHMARK(BM_PackSigns)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SsdmPack(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<float> g(d);
+  fill_normal({g.data(), d}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssdm_pack({g.data(), d}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
+}
+BENCHMARK(BM_SsdmPack)->Arg(1 << 16);
+
+void BM_EliasGammaEncodeSigned(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::int32_t> values(d);
+  for (auto& v : values) {
+    v = static_cast<std::int32_t>(rng.next_below(17)) - 8;
+  }
+  for (auto _ : state) {
+    BitWriter writer;
+    benchmark::DoNotOptimize(
+        elias_gamma_encode_signed({values.data(), d}, writer));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
+}
+BENCHMARK(BM_EliasGammaEncodeSigned)->Arg(1 << 14);
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  fill_normal({a.data(), a.size()}, rng, 0.0f, 1.0f);
+  fill_normal({b.data(), b.size()}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    matmul({a.data(), a.size()}, {b.data(), b.size()}, {c.data(), c.size()},
+           n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
+
+void BM_RingTimingSchedule(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const CostModel model;
+  NetworkSim net(m, model);
+  const WireFormat wire = marsit_wire(model);
+  for (auto _ : state) {
+    net.reset();
+    benchmark::DoNotOptimize(
+        ring_allreduce_timing(m, 1 << 20, wire, net));
+  }
+}
+BENCHMARK(BM_RingTimingSchedule)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TorusTimingSchedule(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const CostModel model;
+  NetworkSim net(side * side, model);
+  const WireFormat wire = marsit_wire(model);
+  for (auto _ : state) {
+    net.reset();
+    benchmark::DoNotOptimize(
+        torus_allreduce_timing(side, side, 1 << 20, wire, net));
+  }
+}
+BENCHMARK(BM_TorusTimingSchedule)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace marsit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Timing schedules for the three synchronization paradigms the paper
+// evaluates: ring all-reduce (RAR), 2-D torus all-reduce (TAR), and the
+// parameter server (PS).
+//
+// A schedule answers "how long does one synchronization of a D-element
+// gradient take, and how many bits cross the wire" for a given *wire
+// format*.  The wire format abstracts what a method transmits per hop:
+// full-precision floats (PSGD), growing sign-sums (signSGD/EF/SSDM under
+// MAR), constant one-bit vectors (Marsit), or compressed segments with a
+// serial decompress-recompress stage (cascading compression).
+//
+// The actual aggregation arithmetic runs separately on full vectors (see
+// aggregators.hpp and src/core): elementwise aggregation is invariant to how
+// a vector is chunked into segments, so values and timing can be computed
+// independently without loss of fidelity.  DESIGN.md §5 records this
+// decoupling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "net/cost_model.hpp"
+#include "net/network_sim.hpp"
+#include "net/topology.hpp"
+
+namespace marsit {
+
+/// What a synchronization method puts on the wire and what it costs to
+/// produce.  All rates come from CostModel; WireFormat carries *per-element
+/// seconds* so schedules stay independent of the model struct.
+struct WireFormat {
+  /// Bits of a reduce-phase message carrying `elements` elements aggregated
+  /// from `contributions` workers.  For Marsit this is `elements` (constant);
+  /// for sign-sums it grows with ⌈log2(c+1)⌉+1; floats are 32·elements.
+  std::function<double(std::size_t elements, std::size_t contributions)>
+      reduce_bits;
+
+  /// Bits of a gather/broadcast-phase message of `elements` finalized
+  /// elements.
+  std::function<double(std::size_t elements)> gather_bits;
+
+  /// Per-element seconds of processing that sits on the hop critical path
+  /// (cascading compression's decompress-add-recompress).
+  double serial_seconds_per_element = 0.0;
+
+  /// Per-element seconds of processing that overlaps with the receive
+  /// (Marsit's transient-vector generation + bit-wise combine: paper §4.1.1
+  /// "reception and compression processes can take place in parallel").
+  /// Counted in the compression phase but not on the critical path.
+  double overlapped_seconds_per_element = 0.0;
+
+  /// One-time per-element pack cost before the first send (sign packing).
+  double initial_pack_seconds_per_element = 0.0;
+
+  /// Per-element cost to decode the final aggregate at each worker.
+  double final_unpack_seconds_per_element = 0.0;
+};
+
+// Ready-made wire formats ----------------------------------------------------
+
+/// 32-bit float payloads, no compression cost (PSGD).
+WireFormat full_precision_wire();
+
+/// Sign-sum payloads with fixed-width ⌈log2(c+1)⌉+1 bits/element;
+/// `scalars_per_message` extra floats ride along (SSDM's norms, EF's scales).
+WireFormat sign_sum_wire(const CostModel& model,
+                         std::size_t scalars_per_message = 0);
+
+/// Sign-sum payloads recoded with Elias-γ.  `elias_bits_per_element(c)` must
+/// return the measured average code length at contribution count c (the
+/// aggregators record it from real data).
+WireFormat sign_sum_elias_wire(
+    const CostModel& model,
+    std::function<double(std::size_t contributions)> elias_bits_per_element);
+
+/// Marsit's constant one-bit payloads; combine overlaps with receive.
+WireFormat marsit_wire(const CostModel& model);
+
+/// Cascading compression: one-bit payload + a 32-bit norm per message, with
+/// the full decompress-add-recompress on the critical path of every hop.
+WireFormat cascading_wire(const CostModel& model);
+
+// Schedules -------------------------------------------------------------------
+
+struct CollectiveTiming {
+  /// Wall-clock (simulated) seconds from start to every worker holding the
+  /// final aggregate.
+  double completion_seconds = 0.0;
+  /// Payload bits that crossed the wire, summed over all messages.
+  double total_wire_bits = 0.0;
+  /// Bits sent by one (representative) worker — the per-worker communication
+  /// budget axis of Figure 4b.
+  double bits_per_worker = 0.0;
+  /// Compression work on one worker's critical path (initial pack, per-hop
+  /// serial processing, final unpack) — included in completion_seconds, so
+  /// `completion − serial` is the pure communication share.
+  double serial_compression_seconds_per_worker = 0.0;
+  /// Compression work hidden behind receives (Marsit's ⊙ combine) — NOT part
+  /// of completion_seconds.
+  double overlapped_compression_seconds_per_worker = 0.0;
+
+  /// Total per-worker compression seconds — the red bars of Figures 1a/5.
+  double compression_seconds_per_worker() const {
+    return serial_compression_seconds_per_worker +
+           overlapped_compression_seconds_per_worker;
+  }
+  /// Pure transfer share of completion (what the blue bars show).
+  double communication_seconds() const {
+    const double value =
+        completion_seconds - serial_compression_seconds_per_worker;
+    return value > 0.0 ? value : 0.0;
+  }
+};
+
+/// Ring all-reduce: reduce-scatter (M−1 steps) + all-gather (M−1 steps) over
+/// M segments of ⌈D/M⌉ elements.  `start_time` is when every worker's
+/// payload is ready (gradient computed).
+CollectiveTiming ring_allreduce_timing(std::size_t num_workers, std::size_t d,
+                                       const WireFormat& wire,
+                                       NetworkSim& net,
+                                       double start_time = 0.0);
+
+/// 2-D torus all-reduce: row reduce-scatter, column all-reduce, row
+/// all-gather (Mikami et al.).  Workers = rows×cols.
+CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
+                                        std::size_t d, const WireFormat& wire,
+                                        NetworkSim& net,
+                                        double start_time = 0.0);
+
+/// Parameter server: M pushes serialized through the server ingress NIC,
+/// aggregation, M broadcasts serialized through its egress NIC.  The network
+/// must have been built with num_workers+1 nodes (last = server).
+CollectiveTiming ps_allreduce_timing(std::size_t num_workers, std::size_t d,
+                                     const WireFormat& wire, NetworkSim& net,
+                                     double start_time = 0.0);
+
+/// Binomial-tree all-reduce (the paper's "can be easily extended to ...
+/// tree all-reduce"): ⌈log2 M⌉ reduce levels (node i+2^l sends its
+/// aggregate to node i) followed by ⌈log2 M⌉ broadcast levels.  Whole-vector
+/// messages — fewer, larger transfers than the ring: wins when α dominates,
+/// loses bandwidth-bound.  Reduce-level messages carry 2^l-contribution
+/// aggregates, so sign-sum payloads grow just like on the ring.
+CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
+                                       const WireFormat& wire,
+                                       NetworkSim& net,
+                                       double start_time = 0.0);
+
+}  // namespace marsit

@@ -1,0 +1,78 @@
+#include "compress/sign_codec.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+BitVector pack_signs(std::span<const float> g) {
+  BitVector bits(g.size());
+  auto words = bits.words();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g[i] >= 0.0f) {
+      words[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+  }
+  return bits;
+}
+
+void unpack_signs(const BitVector& bits, float scale, std::span<float> out) {
+  MARSIT_CHECK(bits.size() == out.size())
+      << "unpack_signs: " << bits.size() << " bits into " << out.size()
+      << " floats";
+  auto words = bits.words();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool positive = (words[i / 64] >> (i % 64)) & 1u;
+    out[i] = positive ? scale : -scale;
+  }
+}
+
+void accumulate_signs(const BitVector& bits, float scale,
+                      std::span<float> out) {
+  MARSIT_CHECK(bits.size() == out.size())
+      << "accumulate_signs: " << bits.size() << " bits into " << out.size()
+      << " floats";
+  auto words = bits.words();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool positive = (words[i / 64] >> (i % 64)) & 1u;
+    out[i] += positive ? scale : -scale;
+  }
+}
+
+BitVector ssdm_pack(std::span<const float> g, Rng& rng, std::size_t block) {
+  const std::size_t block_size = block == 0 ? g.size() : block;
+  BitVector bits(g.size());
+  auto words = bits.words();
+  for (std::size_t begin = 0; begin < g.size(); begin += block_size) {
+    const std::size_t len = std::min(block_size, g.size() - begin);
+    const float norm = l2_norm(g.subspan(begin, len));
+    if (norm == 0.0f) {
+      // Degenerate block: deterministic +1, per the sign convention.
+      for (std::size_t i = begin; i < begin + len; ++i) {
+        words[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+      continue;
+    }
+    const float inv_two_norm = 0.5f / norm;
+    for (std::size_t i = begin; i < begin + len; ++i) {
+      const double p = std::clamp(0.5 + static_cast<double>(g[i]) *
+                                            static_cast<double>(inv_two_norm),
+                                  0.0, 1.0);
+      if (rng.bernoulli(p)) {
+        words[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+    }
+  }
+  return bits;
+}
+
+float ssdm_norm(std::span<const float> g) { return l2_norm(g); }
+
+float scaled_sign_scale(std::span<const float> g) {
+  MARSIT_CHECK(!g.empty()) << "scaled_sign_scale of empty gradient";
+  return l1_norm(g) / static_cast<float>(g.size());
+}
+
+}  // namespace marsit

@@ -1,0 +1,74 @@
+// Algorithm 2 of the paper (Marsit-driven SGD) generalized over any
+// SyncStrategy and any stochastic objective.
+//
+// Every round t, each worker m draws a stochastic gradient of F at the
+// shared iterate x̃_t, scales it by the local stepsize η_l, the strategy
+// aggregates (Algorithm 1 for Marsit; the baseline aggregations otherwise),
+// and all workers apply the identical global update x̃_{t+1} = x̃_t − g_t.
+//
+// The neural-network training path lives in src/sim (it adds datasets,
+// models, local optimizers and metrics); this driver is the minimal,
+// mathematically transparent form used by the convergence/speedup tests and
+// the theory-validation benches.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/sync_strategy.hpp"
+#include "tensor/tensor.hpp"
+
+namespace marsit {
+
+/// A distributed stochastic objective: worker-local gradient oracles plus a
+/// deterministic full loss for evaluation.
+struct StochasticObjective {
+  std::size_t dimension = 0;
+  /// Writes worker `m`'s stochastic gradient at x into grad (pre-sized to
+  /// `dimension`).  `round` lets oracles vary their sample deterministically.
+  std::function<void(std::size_t worker, std::size_t round,
+                     std::span<const float> x, std::span<float> grad)>
+      gradient;
+  /// Exact objective value F(x) (for traces; never fed back into training).
+  std::function<double(std::span<const float> x)> loss;
+};
+
+struct DistributedSgdOptions {
+  /// Local stepsize η_l applied to each stochastic gradient before
+  /// synchronization.
+  float eta_l = 0.01f;
+  std::size_t rounds = 100;
+  /// Record F(x̃_t) every `eval_interval` rounds (and at the end).  0 = only
+  /// at the end.
+  std::size_t eval_interval = 1;
+};
+
+struct DistributedSgdTrace {
+  /// (round, loss) evaluation points.
+  std::vector<std::pair<std::size_t, double>> losses;
+  /// Squared gradient-norm proxy ‖∇F(x̃_t)‖² at the eval points (from the
+  /// mean of worker gradients).
+  std::vector<double> grad_norms_sq;
+  double simulated_seconds = 0.0;
+  double total_wire_bits = 0.0;
+  Tensor final_point;
+  bool diverged = false;  // non-finite iterate encountered; run aborted
+};
+
+/// Runs T rounds of strategy-synchronized SGD from x0.
+DistributedSgdTrace run_distributed_sgd(SyncStrategy& strategy,
+                                        const StochasticObjective& objective,
+                                        const Tensor& x0,
+                                        const DistributedSgdOptions& options);
+
+/// The paper's theory-friendly test problem: a sum of M worker-local
+/// quadratics F_m(x) = ½‖x − b_m‖², with Gaussian gradient noise of stddev
+/// `sigma`.  Global optimum at mean(b_m).  Used to validate the O(1/√(MT))
+/// linear-speedup claim empirically.
+StochasticObjective make_quadratic_objective(std::size_t dimension,
+                                             std::size_t num_workers,
+                                             double sigma,
+                                             std::uint64_t seed);
+
+}  // namespace marsit

@@ -1,0 +1,44 @@
+// The ⊙ operator — Marsit's unbiased one-bit sign aggregation (paper §4.1.1,
+// Eq. 2).
+//
+// Combining rule between an incoming sign vector `a` (an aggregate standing
+// for `weight_a` workers) and a vector `b` standing for `weight_b` workers:
+//
+//   * bits that agree are kept;
+//   * bits that disagree take a's value with probability
+//     weight_a / (weight_a + weight_b), drawn from a packed Bernoulli
+//     transient vector v:
+//
+//       result = (a AND b) OR ((a XOR b) AND ((a AND v) OR (b AND NOT v)))
+//
+// With weight_b = 1 this is exactly the paper's Eq. 2 (their worker-position
+// probabilities (m−1)/m and 1/m are weight_a/(weight_a+1) for the two
+// disagreement cases).  The weighted generalization is what lets the same
+// operator run the 2-D torus reduction, where the column phase merges two
+// aggregates that each already stand for a whole row of workers.
+//
+// Invariant (proved by induction, tested in tests/core_one_bit_test.cpp):
+// after folding all M workers the bit is 1 with probability exactly
+// (#workers whose sign is +1)/M, so mapping bits to ±1 gives an unbiased
+// one-bit estimate of the mean sign — with zero bit-width growth.
+#pragma once
+
+#include <cstddef>
+
+#include "compress/bit_vector.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+
+/// Combines two weighted sign aggregates; returns the new aggregate (weight
+/// weight_a + weight_b).  Extents must match; weights must be positive.
+/// Consumes rng word-wise (one exact Bernoulli word per 64 elements).
+BitVector one_bit_combine(const BitVector& a, std::size_t weight_a,
+                          const BitVector& b, std::size_t weight_b, Rng& rng);
+
+/// Folds M workers' sign vectors in chain order (the ring reduce order) and
+/// returns the final one-bit aggregate.  Equivalent to repeated
+/// one_bit_combine with weight_b = 1.
+BitVector one_bit_fold(const std::vector<BitVector>& signs, Rng& rng);
+
+}  // namespace marsit

@@ -1,0 +1,532 @@
+#include "core/sync_strategy.hpp"
+
+#include <cmath>
+
+#include "compress/sign_codec.hpp"
+#include "core/one_bit.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+const char* mar_paradigm_name(MarParadigm paradigm) {
+  switch (paradigm) {
+    case MarParadigm::kRing:
+      return "RAR";
+    case MarParadigm::kTorus2d:
+      return "TAR";
+    case MarParadigm::kParameterServer:
+      return "PS";
+    case MarParadigm::kTree:
+      return "TREE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Block length for the SSDM strategies' stochastic-sign norms (see
+/// ssdm_pack): per-block norms keep the sign probabilities informative at
+/// training-scale dimensions, like the per-tensor norms of deployed
+/// systems.
+constexpr std::size_t kSsdmBlock = 64;
+
+std::size_t network_nodes(const SyncConfig& config) {
+  return config.paradigm == MarParadigm::kParameterServer
+             ? config.num_workers + 1
+             : config.num_workers;
+}
+
+}  // namespace
+
+SyncStrategy::SyncStrategy(SyncConfig config)
+    : config_(config), net_(network_nodes(config), config.cost_model) {
+  MARSIT_CHECK(config_.num_workers >= 2)
+      << "synchronization needs at least 2 workers";
+  if (config_.paradigm == MarParadigm::kTorus2d) {
+    MARSIT_CHECK(config_.torus_rows >= 2 && config_.torus_cols >= 2 &&
+                 config_.torus_rows * config_.torus_cols ==
+                     config_.num_workers)
+        << "torus " << config_.torus_rows << "x" << config_.torus_cols
+        << " does not tile " << config_.num_workers << " workers";
+  }
+}
+
+SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
+                                         std::span<float> out) {
+  MARSIT_CHECK(inputs.size() == config_.num_workers)
+      << "got " << inputs.size() << " worker inputs, expected "
+      << config_.num_workers;
+  MARSIT_CHECK(!out.empty()) << "empty output span";
+  for (const auto& in : inputs) {
+    MARSIT_CHECK(in.size() == out.size())
+        << "worker input extent " << in.size() << " vs output " << out.size();
+  }
+  net_.reset();  // rounds are timed independently
+  SyncStepResult result = do_synchronize(inputs, out);
+  ++round_;
+  return result;
+}
+
+CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
+                                          const WireFormat& wire) {
+  switch (config_.paradigm) {
+    case MarParadigm::kRing:
+      return ring_allreduce_timing(config_.num_workers, d, wire, net_);
+    case MarParadigm::kTorus2d:
+      return torus_allreduce_timing(config_.torus_rows, config_.torus_cols, d,
+                                    wire, net_);
+    case MarParadigm::kParameterServer:
+      return ps_allreduce_timing(config_.num_workers, d, wire, net_);
+    case MarParadigm::kTree:
+      return tree_allreduce_timing(config_.num_workers, d, wire, net_);
+  }
+  MARSIT_CHECK(false) << "unreachable paradigm";
+  return {};
+}
+
+Rng SyncStrategy::round_rng() const {
+  return Rng(derive_seed(config_.seed, round_));
+}
+
+// --- PSGD ----------------------------------------------------------------
+
+PsgdSync::PsgdSync(SyncConfig config) : SyncStrategy(config) {}
+
+std::string PsgdSync::name() const {
+  return std::string("PSGD-") + mar_paradigm_name(config_.paradigm);
+}
+
+SyncStepResult PsgdSync::do_synchronize(const WorkerSpans& inputs,
+                                        std::span<float> out) {
+  aggregate_mean(inputs, out);
+  SyncStepResult result;
+  result.timing = mar_timing(out.size(), full_precision_wire());
+  result.full_precision = true;
+  result.bits_per_element = 32.0;
+  return result;
+}
+
+// --- shared sign-sum plumbing ----------------------------------------------
+
+namespace {
+
+/// Runs a sign-sum aggregation and builds the matching wire format,
+/// refreshing the Elias size cache when due.
+struct SignSumRound {
+  SignSum sum;
+  WireFormat wire;
+  double bits_per_element = 0.0;
+};
+
+SignSumRound run_sign_sum_round(const std::vector<BitVector>& signs,
+                                const SyncConfig& config, std::size_t round,
+                                std::vector<double>& elias_cache,
+                                std::size_t scalars_per_message) {
+  const bool refresh =
+      config.use_elias &&
+      (elias_cache.empty() ||
+       (config.elias_refresh_interval > 0 &&
+        round % config.elias_refresh_interval == 0));
+  SignSumAggregate aggregate = aggregate_sign_sum(signs, refresh);
+  if (refresh) {
+    elias_cache = aggregate.elias_bits_per_element;
+  }
+
+  SignSumRound result;
+  result.sum = std::move(aggregate.sum);
+  if (config.use_elias) {
+    // Copy the cache into the closure: the wire format must stay valid and
+    // self-contained for the duration of the timing pass.
+    std::vector<double> cache = elias_cache;
+    result.wire = sign_sum_elias_wire(
+        config.cost_model, [cache](std::size_t contributions) {
+          if (cache.empty()) {
+            return 2.0;  // cold-start fallback, replaced on first refresh
+          }
+          const std::size_t index =
+              std::min(contributions, cache.size()) - 1;
+          return cache[index];
+        });
+    result.bits_per_element =
+        elias_cache.empty() ? 2.0 : elias_cache.back();
+  } else {
+    result.wire = sign_sum_wire(config.cost_model, scalars_per_message);
+    result.bits_per_element = static_cast<double>(
+        sign_sum_bits_per_element(config.num_workers));
+  }
+  return result;
+}
+
+std::vector<BitVector> pack_all_signs(const WorkerSpans& inputs) {
+  std::vector<BitVector> signs;
+  signs.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    signs.push_back(pack_signs(in));
+  }
+  return signs;
+}
+
+}  // namespace
+
+// --- signSGD with majority vote ---------------------------------------------
+
+SignSgdMvSync::SignSgdMvSync(SyncConfig config, float eta_s)
+    : SyncStrategy(config), eta_s_(eta_s) {
+  MARSIT_CHECK(eta_s_ > 0.0f) << "signSGD-MV needs a positive global stepsize";
+}
+
+std::string SignSgdMvSync::name() const {
+  return std::string("signSGD-") + mar_paradigm_name(config_.paradigm);
+}
+
+SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
+                                             std::span<float> out) {
+  const std::vector<BitVector> signs = pack_all_signs(inputs);
+  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
+                                               cached_elias_bpe_, 0);
+  unpack_signs(round_data.sum.majority(), eta_s_, out);
+
+  SyncStepResult result;
+  result.timing = mar_timing(out.size(), round_data.wire);
+  result.bits_per_element = round_data.bits_per_element;
+  return result;
+}
+
+// --- EF-signSGD ---------------------------------------------------------------
+
+EfSignSgdSync::EfSignSgdSync(SyncConfig config) : SyncStrategy(config) {}
+
+std::string EfSignSgdSync::name() const {
+  return std::string("EF-signSGD-") + mar_paradigm_name(config_.paradigm);
+}
+
+SyncStepResult EfSignSgdSync::do_synchronize(const WorkerSpans& inputs,
+                                             std::span<float> out) {
+  const std::size_t d = out.size();
+  if (error_.empty()) {
+    error_.assign(config_.num_workers, Tensor(d));
+  }
+
+  std::vector<BitVector> signs;
+  signs.reserve(inputs.size());
+  double scale_sum = 0.0;
+  std::vector<float> p(d);
+  std::vector<float> delta(d);
+  for (std::size_t m = 0; m < inputs.size(); ++m) {
+    // p = u_m + e_m; compress to (scale, signs); e_m ← p − decode.
+    add(inputs[m], error_[m].span(), {p.data(), d});
+    const float scale = scaled_sign_scale({p.data(), d});
+    BitVector bits = pack_signs({p.data(), d});
+    unpack_signs(bits, scale, {delta.data(), d});
+    sub({p.data(), d}, {delta.data(), d}, error_[m].span());
+    scale_sum += scale;
+    signs.push_back(std::move(bits));
+  }
+
+  // One float scale rides along per message (the running scale sum).
+  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
+                                               cached_elias_bpe_, 1);
+  round_data.sum.mean_into(out);
+  scale(out, static_cast<float>(scale_sum / static_cast<double>(
+                                                inputs.size())));
+
+  SyncStepResult result;
+  result.timing = mar_timing(d, round_data.wire);
+  result.bits_per_element = round_data.bits_per_element;
+  return result;
+}
+
+// --- SSDM under MAR -------------------------------------------------------------
+
+SsdmMarSync::SsdmMarSync(SyncConfig config, float eta_s)
+    : SyncStrategy(config), eta_s_(eta_s) {
+  MARSIT_CHECK(eta_s_ > 0.0f) << "SSDM needs a positive global stepsize";
+}
+
+std::string SsdmMarSync::name() const {
+  return std::string("SSDM-") + mar_paradigm_name(config_.paradigm);
+}
+
+SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
+                                           std::span<float> out) {
+  Rng rng = round_rng();
+  std::vector<BitVector> signs;
+  signs.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    signs.push_back(ssdm_pack(in, rng, kSsdmBlock));
+  }
+
+  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
+                                               cached_elias_bpe_, 0);
+  unpack_signs(round_data.sum.majority(), eta_s_, out);
+
+  SyncStepResult result;
+  result.timing = mar_timing(out.size(), round_data.wire);
+  result.bits_per_element = round_data.bits_per_element;
+  return result;
+}
+
+// --- SSDM under PS ---------------------------------------------------------------
+
+SsdmPsSync::SsdmPsSync(SyncConfig config, float eta_s)
+    : SyncStrategy(config), eta_s_(eta_s) {
+  MARSIT_CHECK(config_.paradigm == MarParadigm::kParameterServer)
+      << "SsdmPsSync requires the parameter-server paradigm";
+  MARSIT_CHECK(eta_s_ > 0.0f) << "SSDM needs a positive global stepsize";
+}
+
+std::string SsdmPsSync::name() const { return "SSDM-PS"; }
+
+SyncStepResult SsdmPsSync::do_synchronize(const WorkerSpans& inputs,
+                                          std::span<float> out) {
+  Rng rng = round_rng();
+  // Uplink: each worker's stochastic signs; server majority-votes them and
+  // broadcasts the one-bit decision.
+  std::vector<BitVector> signs;
+  signs.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    signs.push_back(ssdm_pack(in, rng, kSsdmBlock));
+  }
+  const SignSumAggregate aggregate = aggregate_sign_sum(signs);
+  unpack_signs(aggregate.sum.majority(), eta_s_, out);
+
+  WireFormat wire;
+  wire.reduce_bits = [](std::size_t elements, std::size_t) {
+    return static_cast<double>(elements) + 32.0;
+  };
+  wire.gather_bits = [](std::size_t elements) {
+    return static_cast<double>(elements) + 32.0;
+  };
+  wire.initial_pack_seconds_per_element =
+      1.0 / config_.cost_model.stochastic_sign_rate;
+  wire.serial_seconds_per_element =
+      1.0 / config_.cost_model.sign_unpack_rate;
+  wire.final_unpack_seconds_per_element =
+      1.0 / config_.cost_model.sign_unpack_rate;
+
+  SyncStepResult result;
+  result.timing = mar_timing(out.size(), wire);
+  result.bits_per_element = 1.0;
+  return result;
+}
+
+// --- cascading compression --------------------------------------------------------
+
+CascadingSync::CascadingSync(SyncConfig config) : SyncStrategy(config) {
+  MARSIT_CHECK(config_.paradigm == MarParadigm::kRing)
+      << "cascading compression is defined on the ring paradigm";
+}
+
+std::string CascadingSync::name() const { return "Cascading-RAR"; }
+
+SyncStepResult CascadingSync::do_synchronize(const WorkerSpans& inputs,
+                                             std::span<float> out) {
+  Rng rng = round_rng();
+  cascading_aggregate(inputs, rng, out);
+
+  SyncStepResult result;
+  result.timing = mar_timing(out.size(), cascading_wire(config_.cost_model));
+  result.bits_per_element = 1.0;
+  return result;
+}
+
+// --- Marsit -------------------------------------------------------------------------
+
+MarsitSync::MarsitSync(SyncConfig config, MarsitOptions options)
+    : SyncStrategy(config), options_(options) {
+  MARSIT_CHECK(config_.paradigm != MarParadigm::kParameterServer)
+      << "Marsit is a multi-hop all-reduce framework; use ring or torus";
+  MARSIT_CHECK(options_.eta_s > 0.0f) << "Marsit needs a positive eta_s";
+}
+
+std::string MarsitSync::name() const {
+  std::string base = "Marsit";
+  if (options_.full_precision_period > 0) {
+    base += "-" + std::to_string(options_.full_precision_period);
+  }
+  return base + "-" + mar_paradigm_name(config_.paradigm);
+}
+
+double MarsitSync::mean_compensation_norm() const {
+  if (compensation_.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const auto& c : compensation_) {
+    total += l2_norm(c.span());
+  }
+  return total / static_cast<double>(compensation_.size());
+}
+
+void MarsitSync::mean_compensation_into(std::span<float> out) const {
+  zero(out);
+  if (compensation_.empty()) {
+    return;
+  }
+  for (const auto& c : compensation_) {
+    MARSIT_CHECK(c.size() == out.size())
+        << "compensation extent " << c.size() << " vs out " << out.size();
+    axpy(1.0f, c.span(), out);
+  }
+  scale(out, 1.0f / static_cast<float>(compensation_.size()));
+}
+
+BitVector MarsitSync::fold_signs(const std::vector<BitVector>& signs,
+                                 Rng& rng) const {
+  if (config_.paradigm == MarParadigm::kTree) {
+    // Binomial-tree reduction: level-l merges combine aggregates of equal
+    // weight 2^l (plus a possibly lighter tail aggregate).
+    std::vector<BitVector> nodes = signs;
+    std::vector<std::size_t> weights(nodes.size(), 1);
+    for (std::size_t stride = 1; stride < nodes.size(); stride *= 2) {
+      for (std::size_t i = 0; i + stride < nodes.size(); i += 2 * stride) {
+        nodes[i] = one_bit_combine(nodes[i], weights[i], nodes[i + stride],
+                                   weights[i + stride], rng);
+        weights[i] += weights[i + stride];
+      }
+    }
+    return nodes.front();
+  }
+  if (config_.paradigm == MarParadigm::kTorus2d) {
+    // Row folds (weights 1..cols within each row), then weighted column
+    // merges of whole-row aggregates — the torus reduction structure.
+    const std::size_t rows = config_.torus_rows;
+    const std::size_t cols = config_.torus_cols;
+    BitVector aggregate;
+    for (std::size_t r = 0; r < rows; ++r) {
+      BitVector row_aggregate = signs[r * cols];
+      for (std::size_t c = 1; c < cols; ++c) {
+        row_aggregate =
+            one_bit_combine(row_aggregate, c, signs[r * cols + c], 1, rng);
+      }
+      if (r == 0) {
+        aggregate = std::move(row_aggregate);
+      } else {
+        aggregate =
+            one_bit_combine(aggregate, r * cols, row_aggregate, cols, rng);
+      }
+    }
+    return aggregate;
+  }
+  return one_bit_fold(signs, rng);
+}
+
+SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
+                                          std::span<float> out) {
+  const std::size_t d = out.size();
+  const std::size_t m = config_.num_workers;
+  if (compensation_.empty()) {
+    compensation_.assign(m, Tensor(d));
+  }
+  MARSIT_CHECK(compensation_.front().size() == d)
+      << "gradient dimension changed between rounds";
+
+  // Line 1 of Algorithm 1: fold the compensation into the update.
+  std::vector<Tensor> adjusted(m, Tensor(d));
+  WorkerSpans adjusted_spans;
+  adjusted_spans.reserve(m);
+  for (std::size_t w = 0; w < m; ++w) {
+    add(inputs[w], compensation_[w].span(), adjusted[w].span());
+    adjusted_spans.push_back(adjusted[w].span());
+  }
+
+  SyncStepResult result;
+  const bool full_precision =
+      options_.full_precision_period > 0 &&
+      round_ % options_.full_precision_period == 0;
+
+  if (full_precision) {
+    // Lines 12–13: exact mean, compensation reset.
+    aggregate_mean(adjusted_spans, out);
+    if (options_.full_precision_max_norm > 0.0f) {
+      const float norm = l2_norm(out);
+      if (norm > options_.full_precision_max_norm) {
+        scale(out, options_.full_precision_max_norm / norm);
+      }
+    }
+    for (auto& c : compensation_) {
+      c.zero();
+    }
+    result.timing = mar_timing(d, full_precision_wire());
+    result.full_precision = true;
+    result.bits_per_element = 32.0;
+    return result;
+  }
+
+  // Lines 4–8: one-bit synchronization with the ⊙ operator.
+  Rng rng = round_rng();
+  std::vector<BitVector> signs;
+  signs.reserve(m);
+  for (std::size_t w = 0; w < m; ++w) {
+    signs.push_back(pack_signs(adjusted_spans[w]));
+  }
+  const BitVector aggregate = fold_signs(signs, rng);
+
+  // Line 9: g_t = eta_s · sign-vector.
+  unpack_signs(aggregate, options_.eta_s, out);
+
+  // Line 10: c_{t+1}^{(m)} = g_t^{(m)} − g_t.
+  if (options_.use_compensation) {
+    for (std::size_t w = 0; w < m; ++w) {
+      sub(adjusted_spans[w], out, compensation_[w].span());
+    }
+  }
+
+  result.timing = mar_timing(d, marsit_wire(config_.cost_model));
+  result.bits_per_element = 1.0;
+  return result;
+}
+
+// --- factory ---------------------------------------------------------------------
+
+const char* sync_method_name(SyncMethod method) {
+  switch (method) {
+    case SyncMethod::kPsgd:
+      return "PSGD";
+    case SyncMethod::kSignSgdMv:
+      return "signSGD";
+    case SyncMethod::kEfSignSgd:
+      return "EF-signSGD";
+    case SyncMethod::kSsdm:
+      return "SSDM";
+    case SyncMethod::kSsdmPs:
+      return "SSDM-PS";
+    case SyncMethod::kCascading:
+      return "Cascading";
+    case SyncMethod::kMarsit:
+      return "Marsit";
+  }
+  return "?";
+}
+
+std::unique_ptr<SyncStrategy> make_sync_strategy(SyncMethod method,
+                                                 SyncConfig config,
+                                                 MethodOptions options) {
+  switch (method) {
+    case SyncMethod::kPsgd:
+      return std::make_unique<PsgdSync>(config);
+    case SyncMethod::kSignSgdMv:
+      return std::make_unique<SignSgdMvSync>(config, options.eta_s);
+    case SyncMethod::kEfSignSgd:
+      return std::make_unique<EfSignSgdSync>(config);
+    case SyncMethod::kSsdm:
+      return std::make_unique<SsdmMarSync>(config, options.eta_s);
+    case SyncMethod::kSsdmPs:
+      return std::make_unique<SsdmPsSync>(config, options.eta_s);
+    case SyncMethod::kCascading:
+      return std::make_unique<CascadingSync>(config);
+    case SyncMethod::kMarsit: {
+      MarsitOptions marsit_options;
+      marsit_options.eta_s = options.eta_s;
+      marsit_options.full_precision_period = options.full_precision_period;
+      marsit_options.full_precision_max_norm =
+          options.full_precision_max_norm;
+      return std::make_unique<MarsitSync>(config, marsit_options);
+    }
+  }
+  MARSIT_CHECK(false) << "unknown sync method";
+  return nullptr;
+}
+
+}  // namespace marsit

@@ -1,0 +1,265 @@
+// Synchronization strategies: Marsit (paper Algorithm 1) and every baseline
+// the evaluation compares against, behind one interface.
+//
+// Contract shared by all strategies: each round, every worker produces a
+// local update vector u_m (its stochastic gradient with the local stepsize
+// already applied, possibly transformed by a local optimizer).  The strategy
+// aggregates them into one global update g_t that *every* worker applies as
+// x ← x − g_t, so model replicas stay bit-identical — the invariant all MAR
+// methods share and the reason the trainer can keep a single model copy.
+//
+// synchronize() also returns the round's simulated timing and wire-bit
+// accounting, computed by the matching collective schedule on this
+// strategy's topology (ring / 2-D torus / parameter server).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/aggregators.hpp"
+#include "collectives/timing.hpp"
+#include "net/cost_model.hpp"
+#include "net/network_sim.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+
+/// Which synchronization fabric carries the update.  kTree is the paper's
+/// claimed extension target ("easily extended to ... tree all-reduce"): the
+/// weighted ⊙ operator folds binomial-tree merges exactly like torus ones.
+enum class MarParadigm { kRing, kTorus2d, kParameterServer, kTree };
+
+const char* mar_paradigm_name(MarParadigm paradigm);
+
+struct SyncConfig {
+  std::size_t num_workers = 0;
+  MarParadigm paradigm = MarParadigm::kRing;
+  /// Required when paradigm == kTorus2d; rows*cols must equal num_workers.
+  std::size_t torus_rows = 0;
+  std::size_t torus_cols = 0;
+  CostModel cost_model;
+  std::uint64_t seed = 1;
+  /// Sign-sum baselines: Elias-γ recode the growing messages (the paper
+  /// compacts baseline transmissions with Elias coding).
+  bool use_elias = false;
+  /// How often (rounds) the Elias wire image is re-measured from real data;
+  /// between refreshes the cached per-contribution sizes are reused.
+  std::size_t elias_refresh_interval = 50;
+};
+
+struct SyncStepResult {
+  CollectiveTiming timing;
+  /// True when this round transmitted full-precision values (PSGD always;
+  /// Marsit every K rounds).
+  bool full_precision = false;
+  /// Wire-format bits used to encode one element this round (the paper's
+  /// Figure 3 "Bits" column): 32 for full precision, 1 for one-bit rounds,
+  /// ⌈log2(M+1)⌉+1-ish for sign-sums.
+  double bits_per_element = 0.0;
+};
+
+class SyncStrategy {
+ public:
+  explicit SyncStrategy(SyncConfig config);
+  virtual ~SyncStrategy() = default;
+
+  SyncStrategy(const SyncStrategy&) = delete;
+  SyncStrategy& operator=(const SyncStrategy&) = delete;
+
+  virtual std::string name() const = 0;
+
+  const SyncConfig& config() const { return config_; }
+  std::size_t round() const { return round_; }
+
+  /// Aggregates the workers' update vectors into the global update.
+  /// `inputs` holds num_workers spans of identical extent; `out` receives
+  /// g_t.  Advances the round counter.
+  SyncStepResult synchronize(const WorkerSpans& inputs, std::span<float> out);
+
+ protected:
+  virtual SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                        std::span<float> out) = 0;
+
+  /// Timing of one MAR collective (ring or torus per config) for a
+  /// d-element payload in the given wire format.
+  CollectiveTiming mar_timing(std::size_t d, const WireFormat& wire);
+
+  /// Fresh per-round RNG (derived from the config seed and round index) so
+  /// strategies are reproducible independent of call interleaving.
+  Rng round_rng() const;
+
+  SyncConfig config_;
+  NetworkSim net_;
+  std::size_t round_ = 0;
+};
+
+// --- concrete strategies -----------------------------------------------------
+
+/// PSGD: full-precision aggregation (the non-compression baseline).  Runs on
+/// any paradigm, including the parameter server for Figure 1a.
+class PsgdSync final : public SyncStrategy {
+ public:
+  explicit PsgdSync(SyncConfig config);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+};
+
+/// signSGD with majority vote [21] extended to MAR with growing sign-sums.
+/// g_t = eta_s · sign(Σ_m sign(u_m)).
+class SignSgdMvSync final : public SyncStrategy {
+ public:
+  SignSgdMvSync(SyncConfig config, float eta_s);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+
+  float eta_s_;
+  std::vector<double> cached_elias_bpe_;
+};
+
+/// EF-signSGD [30] extended to MAR: per-worker error feedback around the
+/// scaled-sign compressor; the wire carries sign-sums plus the running scale
+/// sum, decoded as (mean scale)·(mean sign).
+class EfSignSgdSync final : public SyncStrategy {
+ public:
+  explicit EfSignSgdSync(SyncConfig config);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+
+  std::vector<Tensor> error_;  // per-worker EF memory, lazily sized
+  std::vector<double> cached_elias_bpe_;
+};
+
+/// SSDM [14] extended to MAR: stochastic signs (P(+1) = 1/2 + g_i/(2‖g‖))
+/// aggregated in sign-sums; the update is the paper's sign-descent step
+/// g_t = eta_s · sign(Σ_m s̃ign(u_m)) — SSDM descends on the sign, the norm
+/// only shapes the per-element probability.
+class SsdmMarSync final : public SyncStrategy {
+ public:
+  SsdmMarSync(SyncConfig config, float eta_s);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+
+  float eta_s_;
+  std::vector<double> cached_elias_bpe_;
+};
+
+/// SSDM under a parameter server (the single-hop home turf of signSGD
+/// methods; Figure 1's comparison point).  Uplink: per-worker stochastic
+/// signs; downlink: the aggregated sign decision — one bit each way.
+class SsdmPsSync final : public SyncStrategy {
+ public:
+  SsdmPsSync(SyncConfig config, float eta_s);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+
+  float eta_s_;
+};
+
+/// Cascading compression (paper §3.2): decompress-add-recompress at every
+/// ring hop.  The negative baseline of Table 1 / Figure 1.  Ring only.
+class CascadingSync final : public SyncStrategy {
+ public:
+  explicit CascadingSync(SyncConfig config);
+  std::string name() const override;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+};
+
+/// Marsit (paper Algorithm 1): one-bit ⊙ aggregation with global
+/// compensation, full-precision synchronization every K rounds.
+struct MarsitOptions {
+  /// Global stepsize η_s multiplying the aggregated sign vector.
+  float eta_s = 1e-3f;
+  /// Full-precision synchronization period; 0 disables it (the paper's
+  /// "Marsit" row; K=∞).  K=1 degenerates to PSGD.
+  std::size_t full_precision_period = 0;
+  /// Ablation switch: disable the global compensation mechanism (the c
+  /// vectors stay zero).  Used by bench/ablation_compensation.
+  bool use_compensation = true;
+  /// Trust region on the periodic full-precision update: the flushed mean
+  /// (which carries ~K rounds of compensation mass) is rescaled to this ℓ2
+  /// norm when larger (0 disables).  The paper's protocol controls the same
+  /// hazard by decaying the learning rate at every full-precision
+  /// synchronization; at this reproduction's aggressive per-round stepsizes
+  /// an explicit cap is the stabler equivalent (see EXPERIMENTS.md).
+  float full_precision_max_norm = 0.0f;
+};
+
+class MarsitSync final : public SyncStrategy {
+ public:
+  MarsitSync(SyncConfig config, MarsitOptions options);
+  std::string name() const override;
+
+  const MarsitOptions& options() const { return options_; }
+
+  /// Mean compensation-vector ℓ2 norm across workers (0 before the first
+  /// one-bit round) — the error-accumulation diagnostic Figure 3 discusses.
+  double mean_compensation_norm() const;
+
+  /// Writes c̄_t = (1/M)Σ_m c_t^{(m)} into `out` (zeros before the first
+  /// round).  Diagnostic: the paper's proof tracks the auxiliary sequence
+  /// ỹ_t = x̃_t − c̄_t, which must follow exact SGD —
+  /// tests/core_marsit_dynamics_test.cpp checks that identity numerically.
+  void mean_compensation_into(std::span<float> out) const;
+
+ private:
+  SyncStepResult do_synchronize(const WorkerSpans& inputs,
+                                std::span<float> out) override;
+
+  /// Folds per-worker sign vectors with ⊙ following the configured
+  /// topology's reduction structure (sequential chain on the ring; row folds
+  /// then weighted column merges on the torus).
+  BitVector fold_signs(const std::vector<BitVector>& signs, Rng& rng) const;
+
+  MarsitOptions options_;
+  std::vector<Tensor> compensation_;  // per-worker c_t, lazily sized
+};
+
+// --- factory ------------------------------------------------------------------
+
+enum class SyncMethod {
+  kPsgd,
+  kSignSgdMv,
+  kEfSignSgd,
+  kSsdm,
+  kSsdmPs,
+  kCascading,
+  kMarsit,
+};
+
+const char* sync_method_name(SyncMethod method);
+
+struct MethodOptions {
+  /// Global stepsize for sign-valued updates (signSGD-MV, SSDM, Marsit).
+  float eta_s = 1e-3f;
+  /// Marsit's K; 0 = never full precision.
+  std::size_t full_precision_period = 0;
+  /// Marsit's flush trust region (see MarsitOptions).
+  float full_precision_max_norm = 0.0f;
+};
+
+std::unique_ptr<SyncStrategy> make_sync_strategy(SyncMethod method,
+                                                 SyncConfig config,
+                                                 MethodOptions options = {});
+
+}  // namespace marsit

@@ -1,0 +1,61 @@
+#include "data/dataset.hpp"
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+void Dataset::fill_batch(std::span<const std::uint64_t> indices,
+                         Batch& batch) const {
+  const std::size_t n = indices.size();
+  const std::size_t sample = sample_size();
+  if (batch.inputs.size() != n * sample) {
+    batch.inputs = Tensor(n * sample);
+  }
+  batch.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.labels[i] =
+        fill_sample(indices[i], batch.inputs.span().subspan(i * sample,
+                                                            sample));
+  }
+}
+
+ShardedSampler::ShardedSampler(const Dataset& dataset,
+                               std::size_t num_workers,
+                               std::size_t batch_size,
+                               std::uint64_t train_range,
+                               std::uint64_t test_range, std::uint64_t seed)
+    : dataset_(dataset),
+      num_workers_(num_workers),
+      batch_size_(batch_size),
+      train_range_(train_range),
+      test_range_(test_range),
+      seed_(seed) {
+  MARSIT_CHECK(num_workers_ >= 1) << "sampler needs at least one worker";
+  MARSIT_CHECK(batch_size_ >= 1) << "empty batch size";
+  MARSIT_CHECK(train_range_ >= batch_size_) << "train range too small";
+  MARSIT_CHECK(test_range_ >= 1) << "empty test range";
+}
+
+void ShardedSampler::worker_batch(std::size_t worker, std::size_t round,
+                                  Batch& batch) const {
+  MARSIT_CHECK(worker < num_workers_) << "worker index out of range";
+  Rng rng(derive_seed(seed_, round * num_workers_ + worker + 1));
+  std::vector<std::uint64_t> indices(batch_size_);
+  for (auto& index : indices) {
+    index = rng.next_below(train_range_);
+  }
+  dataset_.fill_batch(indices, batch);
+}
+
+void ShardedSampler::test_batch(std::size_t count, std::size_t block,
+                                Batch& batch) const {
+  MARSIT_CHECK(count >= 1) << "empty test batch";
+  std::vector<std::uint64_t> indices(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Sequential walk through the held-out range, past the train range.
+    indices[i] = train_range_ + (block * count + i) % test_range_;
+  }
+  dataset_.fill_batch(indices, batch);
+}
+
+}  // namespace marsit

@@ -1,0 +1,73 @@
+// Dataset abstraction for the synthetic workloads.
+//
+// Every dataset here is *procedural*: sample `index` is generated
+// deterministically from (dataset seed, index), so datasets are unbounded,
+// need no storage, and train/test splits are just disjoint index ranges.
+// This replaces MNIST / CIFAR-10 / ImageNet / IMDb, which are unavailable in
+// this environment (DESIGN.md §2 documents each substitution).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+
+struct Batch {
+  Tensor inputs;  // batch × sample_size, row-major
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  /// Per-sample input element count.
+  virtual std::size_t sample_size() const = 0;
+  virtual std::size_t num_classes() const = 0;
+
+  /// Generates sample `index` into `out` (extent sample_size()) and returns
+  /// its label.  Thread-safe: generation is pure in (seed, index).
+  virtual std::size_t fill_sample(std::uint64_t index,
+                                  std::span<float> out) const = 0;
+
+  /// Fills a batch from explicit indices.
+  void fill_batch(std::span<const std::uint64_t> indices, Batch& batch) const;
+};
+
+/// Deterministic i.i.d. batch sampling for M workers — the paper's cloud
+/// setting where "data can be shuffled and formed an identical distribution
+/// among workers".  Worker w's round-t batch draws indices uniformly from
+/// the train range using a stream seeded by (seed, w, t); the test range is
+/// disjoint.
+class ShardedSampler {
+ public:
+  ShardedSampler(const Dataset& dataset, std::size_t num_workers,
+                 std::size_t batch_size, std::uint64_t train_range,
+                 std::uint64_t test_range, std::uint64_t seed);
+
+  std::size_t batch_size() const { return batch_size_; }
+
+  /// Worker `w`'s minibatch for round `t` (resizes `batch` as needed).
+  void worker_batch(std::size_t worker, std::size_t round,
+                    Batch& batch) const;
+
+  /// Deterministic evaluation batch of `count` samples from the held-out
+  /// test range (chunk `block` selects disjoint eval subsets).
+  void test_batch(std::size_t count, std::size_t block, Batch& batch) const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t num_workers_;
+  std::size_t batch_size_;
+  std::uint64_t train_range_;
+  std::uint64_t test_range_;
+  std::uint64_t seed_;
+};
+
+}  // namespace marsit

@@ -1,0 +1,112 @@
+#include "data/synthetic_digits.hpp"
+
+#include <array>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+namespace {
+
+// Seven-segment rendering: segments a(top) b(top-right) c(bottom-right)
+// d(bottom) e(bottom-left) f(top-left) g(middle) on a 12-tall × 8-wide
+// glyph box.
+constexpr std::size_t kGlyphH = 10;
+constexpr std::size_t kGlyphW = 7;
+
+struct Segments {
+  bool a, b, c, d, e, f, g;
+};
+
+constexpr std::array<Segments, 10> kDigitSegments = {{
+    {true, true, true, true, true, true, false},     // 0
+    {false, true, true, false, false, false, false}, // 1
+    {true, true, false, true, true, false, true},    // 2
+    {true, true, true, true, false, false, true},    // 3
+    {false, true, true, false, false, true, true},   // 4
+    {true, false, true, true, false, true, true},    // 5
+    {true, false, true, true, true, true, true},     // 6
+    {true, true, true, false, false, false, false},  // 7
+    {true, true, true, true, true, true, true},      // 8
+    {true, true, true, true, false, true, true},     // 9
+}};
+
+/// Renders digit `d` as kGlyphH×kGlyphW intensities in {0,1}.
+std::array<float, kGlyphH * kGlyphW> render_glyph(std::size_t digit) {
+  std::array<float, kGlyphH * kGlyphW> glyph{};
+  const Segments& seg = kDigitSegments[digit];
+  auto set = [&glyph](std::size_t y, std::size_t x) {
+    glyph[y * kGlyphW + x] = 1.0f;
+  };
+  for (std::size_t x = 1; x + 1 < kGlyphW; ++x) {
+    if (seg.a) set(0, x);
+    if (seg.g) set(kGlyphH / 2, x);
+    if (seg.d) set(kGlyphH - 1, x);
+  }
+  for (std::size_t y = 1; y < kGlyphH / 2; ++y) {
+    if (seg.f) set(y, 0);
+    if (seg.b) set(y, kGlyphW - 1);
+  }
+  for (std::size_t y = kGlyphH / 2 + 1; y + 1 < kGlyphH; ++y) {
+    if (seg.e) set(y, 0);
+    if (seg.c) set(y, kGlyphW - 1);
+  }
+  return glyph;
+}
+
+const std::array<std::array<float, kGlyphH * kGlyphW>, 10>& glyph_table() {
+  static const auto table = [] {
+    std::array<std::array<float, kGlyphH * kGlyphW>, 10> t{};
+    for (std::size_t d = 0; d < 10; ++d) {
+      t[d] = render_glyph(d);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+SyntheticDigits::SyntheticDigits(SyntheticDigitsConfig config)
+    : config_(config) {
+  MARSIT_CHECK(kGlyphH + 2 * config_.max_shift <= kHeight &&
+               kGlyphW + 2 * config_.max_shift <= kWidth)
+      << "shift range pushes the glyph off the canvas";
+}
+
+std::size_t SyntheticDigits::fill_sample(std::uint64_t index,
+                                         std::span<float> out) const {
+  MARSIT_CHECK(out.size() == sample_size()) << "sample buffer extent";
+  Rng rng(derive_seed(config_.seed, index));
+
+  const std::size_t label = rng.next_below(10);
+  const auto& glyph = glyph_table()[label];
+
+  const std::size_t shift_span = 2 * config_.max_shift + 1;
+  const std::size_t base_y = rng.next_below(shift_span);
+  const std::size_t base_x = rng.next_below(shift_span);
+  const float intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+
+  zero(out);
+  for (std::size_t gy = 0; gy < kGlyphH; ++gy) {
+    for (std::size_t gx = 0; gx < kGlyphW; ++gx) {
+      const float v = glyph[gy * kGlyphW + gx];
+      if (v == 0.0f) {
+        continue;
+      }
+      if (config_.dropout > 0.0f && rng.bernoulli(config_.dropout)) {
+        continue;
+      }
+      out[(base_y + gy) * kWidth + (base_x + gx)] = v * intensity;
+    }
+  }
+  if (config_.noise_stddev > 0.0f) {
+    for (float& pixel : out) {
+      pixel += static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+    }
+  }
+  return label;
+}
+
+}  // namespace marsit

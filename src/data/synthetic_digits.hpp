@@ -1,0 +1,43 @@
+// SyntheticDigits — the MNIST stand-in.
+//
+// Ten seven-segment digit glyphs rendered onto a 14×14 grayscale canvas with
+// per-sample random translation, intensity jitter, pixel dropout and
+// Gaussian noise.  Like MNIST it is a 10-way, nearly separable task that a
+// small conv net fits to ≥99 % test accuracy — the property Table 1 relies
+// on (non-compressed training converges fast and high; cascading compression
+// visibly degrades or diverges).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/conv.hpp"
+
+namespace marsit {
+
+struct SyntheticDigitsConfig {
+  std::uint64_t seed = 41;
+  /// Maximum |translation| in pixels along each axis.
+  std::size_t max_shift = 1;
+  float noise_stddev = 0.12f;
+  /// Probability a lit pixel is dropped.
+  float dropout = 0.03f;
+};
+
+class SyntheticDigits final : public Dataset {
+ public:
+  static constexpr std::size_t kHeight = 14;
+  static constexpr std::size_t kWidth = 14;
+
+  explicit SyntheticDigits(SyntheticDigitsConfig config = {});
+
+  std::size_t sample_size() const override { return kHeight * kWidth; }
+  std::size_t num_classes() const override { return 10; }
+  ImageDims image_dims() const { return {1, kHeight, kWidth}; }
+
+  std::size_t fill_sample(std::uint64_t index,
+                          std::span<float> out) const override;
+
+ private:
+  SyntheticDigitsConfig config_;
+};
+
+}  // namespace marsit

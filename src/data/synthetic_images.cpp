@@ -1,0 +1,94 @@
+#include "data/synthetic_images.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+SyntheticImages::SyntheticImages(SyntheticImagesConfig config)
+    : config_(config) {
+  MARSIT_CHECK(config_.num_classes >= 2) << "need at least two classes";
+  MARSIT_CHECK(config_.channels >= 1 && config_.height >= 4 &&
+               config_.width >= 4)
+      << "degenerate image geometry";
+  MARSIT_CHECK(config_.gratings >= 1) << "need at least one grating";
+
+  Rng rng(derive_seed(config_.seed, 0xface));
+  channel_bias_.resize(config_.num_classes);
+  for (auto& per_channel : channel_bias_) {
+    per_channel.resize(config_.channels);
+    for (auto& bias : per_channel) {
+      bias = static_cast<float>(
+          rng.uniform(-config_.channel_bias, config_.channel_bias));
+    }
+  }
+  textures_.resize(config_.num_classes);
+  for (auto& class_textures : textures_) {
+    class_textures.resize(config_.channels);
+    for (auto& channel_gratings : class_textures) {
+      channel_gratings.resize(config_.gratings);
+      for (auto& grating : channel_gratings) {
+        // Spatial frequencies in cycles per image, low enough for a 3×3
+        // conv stack to resolve.
+        grating.fx = static_cast<float>(rng.uniform(0.5, 3.0)) *
+                     (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+        grating.fy = static_cast<float>(rng.uniform(0.5, 3.0)) *
+                     (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+        grating.phase = static_cast<float>(rng.uniform(0.0, kTwoPi));
+        grating.amplitude = static_cast<float>(rng.uniform(0.4, 1.0));
+      }
+    }
+  }
+}
+
+std::size_t SyntheticImages::fill_sample(std::uint64_t index,
+                                         std::span<float> out) const {
+  MARSIT_CHECK(out.size() == sample_size()) << "sample buffer extent";
+  Rng rng(derive_seed(config_.seed, index));
+
+  const std::size_t label = rng.next_below(config_.num_classes);
+  const float dx = static_cast<float>(
+      rng.uniform(-config_.max_translation, config_.max_translation));
+  const float dy = static_cast<float>(
+      rng.uniform(-config_.max_translation, config_.max_translation));
+
+  const float inv_h = 1.0f / static_cast<float>(config_.height);
+  const float inv_w = 1.0f / static_cast<float>(config_.width);
+  const std::size_t plane = config_.height * config_.width;
+
+  for (std::size_t c = 0; c < config_.channels; ++c) {
+    const float jitter =
+        1.0f + static_cast<float>(rng.uniform(-config_.amplitude_jitter,
+                                              config_.amplitude_jitter));
+    float* out_plane = out.data() + c * plane;
+    const auto& gratings = textures_[label][c];
+    for (std::size_t y = 0; y < config_.height; ++y) {
+      const float fy_pos = (static_cast<float>(y) + dy) * inv_h;
+      for (std::size_t x = 0; x < config_.width; ++x) {
+        const float fx_pos = (static_cast<float>(x) + dx) * inv_w;
+        double value = 0.0;
+        for (const Grating& g : gratings) {
+          value += g.amplitude *
+                   std::sin(kTwoPi * (g.fx * fx_pos + g.fy * fy_pos) +
+                            g.phase);
+        }
+        out_plane[y * config_.width + x] =
+            static_cast<float>(value) * jitter + channel_bias_[label][c];
+      }
+    }
+  }
+
+  if (config_.noise_stddev > 0.0f) {
+    for (float& pixel : out) {
+      pixel += static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+    }
+  }
+  return label;
+}
+
+}  // namespace marsit

@@ -1,0 +1,45 @@
+#include "data/synthetic_sentiment.hpp"
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+SyntheticSentiment::SyntheticSentiment(SyntheticSentimentConfig config)
+    : config_(config) {
+  MARSIT_CHECK(config_.vocab_size > 2 * config_.lexicon)
+      << "vocabulary must contain neutral tokens beyond both lexicons";
+  MARSIT_CHECK(config_.seq_len >= 1) << "empty sequences";
+  MARSIT_CHECK(config_.lexicon >= 1) << "empty sentiment lexicon";
+  MARSIT_CHECK(config_.sentiment_rate > 0.0f && config_.sentiment_rate <= 1.0f)
+      << "sentiment rate out of (0,1]";
+  MARSIT_CHECK(config_.contradiction_rate >= 0.0f &&
+               config_.contradiction_rate < 0.5f)
+      << "contradiction rate must be < 0.5 or classes are unlearnable";
+}
+
+std::size_t SyntheticSentiment::fill_sample(std::uint64_t index,
+                                            std::span<float> out) const {
+  MARSIT_CHECK(out.size() == config_.seq_len) << "sample buffer extent";
+  Rng rng(derive_seed(config_.seed, index));
+
+  const std::size_t label = rng.next_below(2);  // 0 = negative, 1 = positive
+  const std::size_t neutral_base = 2 * config_.lexicon;
+  const std::size_t neutral_count = config_.vocab_size - neutral_base;
+
+  for (std::size_t t = 0; t < config_.seq_len; ++t) {
+    std::size_t token;
+    if (rng.bernoulli(config_.sentiment_rate)) {
+      const bool contradict = rng.bernoulli(config_.contradiction_rate);
+      const std::size_t effective = contradict ? 1 - label : label;
+      // Positive lexicon at [0, lexicon); negative at [lexicon, 2·lexicon).
+      const std::size_t base = effective == 1 ? 0 : config_.lexicon;
+      token = base + rng.next_below(config_.lexicon);
+    } else {
+      token = neutral_base + rng.next_below(neutral_count);
+    }
+    out[t] = static_cast<float>(token);
+  }
+  return label;
+}
+
+}  // namespace marsit

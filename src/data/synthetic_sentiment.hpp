@@ -1,0 +1,45 @@
+// SyntheticSentiment — the IMDb-reviews stand-in.
+//
+// Binary sentiment over token sequences: the vocabulary has a positive
+// lexicon, a negative lexicon and a neutral bulk.  A review of class c draws
+// each token from the neutral bulk with probability (1 − sentiment_rate),
+// otherwise from c's lexicon — with a small "contradiction" probability of
+// drawing from the *opposite* lexicon so the task is not trivially
+// separable.  Trained with Adam like the paper's DistilBERT task.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace marsit {
+
+struct SyntheticSentimentConfig {
+  std::uint64_t seed = 44;
+  std::size_t vocab_size = 2000;
+  std::size_t seq_len = 32;
+  /// Tokens [0, lexicon) are positive, [lexicon, 2·lexicon) negative.
+  std::size_t lexicon = 200;
+  /// Probability a token carries sentiment at all.
+  float sentiment_rate = 0.25f;
+  /// Probability a sentiment token comes from the opposite lexicon.
+  float contradiction_rate = 0.2f;
+};
+
+class SyntheticSentiment final : public Dataset {
+ public:
+  explicit SyntheticSentiment(SyntheticSentimentConfig config = {});
+
+  std::size_t sample_size() const override { return config_.seq_len; }
+  std::size_t num_classes() const override { return 2; }
+  std::size_t vocab_size() const { return config_.vocab_size; }
+  std::size_t seq_len() const { return config_.seq_len; }
+
+  /// Emits seq_len token ids as floats (the Embedding layer's input
+  /// convention).
+  std::size_t fill_sample(std::uint64_t index,
+                          std::span<float> out) const override;
+
+ private:
+  SyntheticSentimentConfig config_;
+};
+
+}  // namespace marsit

@@ -1,0 +1,51 @@
+#include "net/network_sim.hpp"
+
+#include <algorithm>
+
+namespace marsit {
+
+NetworkSim::NetworkSim(std::size_t num_nodes, CostModel model)
+    : model_(model), nodes_(num_nodes) {
+  MARSIT_CHECK(num_nodes >= 2) << "network needs at least 2 nodes";
+  MARSIT_CHECK(model_.link_bandwidth > 0 && model_.server_bandwidth > 0)
+      << "bandwidths must be positive";
+}
+
+double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
+                            double ready_time, bool server_endpoint) {
+  MARSIT_CHECK(src < nodes_.size() && dst < nodes_.size())
+      << "transfer endpoints " << src << "->" << dst << " out of range";
+  MARSIT_CHECK(src != dst) << "self-transfer on node " << src;
+  MARSIT_CHECK(bytes >= 0.0) << "negative transfer size";
+
+  const double bandwidth =
+      server_endpoint ? model_.server_bandwidth : model_.link_bandwidth;
+  const double start = std::max({ready_time, nodes_[src].egress_free,
+                                 nodes_[dst].ingress_free});
+  const double end = start + model_.link_alpha + bytes / bandwidth;
+  nodes_[src].egress_free = end;
+  nodes_[dst].ingress_free = end;
+  total_bytes_ += bytes;
+  ++total_messages_;
+  return end;
+}
+
+double NetworkSim::egress_free(std::size_t node) const {
+  MARSIT_CHECK(node < nodes_.size()) << "node out of range";
+  return nodes_[node].egress_free;
+}
+
+double NetworkSim::ingress_free(std::size_t node) const {
+  MARSIT_CHECK(node < nodes_.size()) << "node out of range";
+  return nodes_[node].ingress_free;
+}
+
+void NetworkSim::reset() {
+  for (auto& nics : nodes_) {
+    nics = NodeNics{};
+  }
+  total_bytes_ = 0.0;
+  total_messages_ = 0;
+}
+
+}  // namespace marsit

@@ -1,0 +1,72 @@
+// Event-based network timing simulator.
+//
+// Models each node with one ingress NIC and one egress NIC.  A transfer
+// serializes on both endpoints' NICs: it starts when the payload is ready,
+// the sender's egress is free, and the receiver's ingress is free; it then
+// occupies both for alpha + bytes/bandwidth seconds.  That single rule
+// produces the phenomena the paper's timing figures rest on:
+//
+//   * ring steps run fully in parallel (disjoint NIC pairs),
+//   * the PS server's ingress serializes M concurrent pushes (Figure 1a's
+//     congestion at a single node),
+//   * cascading compression's per-hop recompute delays the downstream
+//     transfer (its compression bar dominating Figure 1a).
+//
+// Simulated time is double seconds.  The simulator carries no payloads —
+// data movement is executed by the collectives on in-memory buffers; this
+// class only answers "when".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+class NetworkSim {
+ public:
+  NetworkSim(std::size_t num_nodes, CostModel model);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Schedules a transfer of `bytes` from src to dst whose payload becomes
+  /// available at `ready_time`.  Returns the delivery completion time.
+  /// `server_endpoint` marks transfers to/from the PS server so they use the
+  /// (possibly different) server NIC bandwidth.
+  double transfer(std::size_t src, std::size_t dst, double bytes,
+                  double ready_time, bool server_endpoint = false);
+
+  /// Convenience: transfer measured in bits (sign-bit messages).
+  double transfer_bits(std::size_t src, std::size_t dst, double bits,
+                       double ready_time, bool server_endpoint = false) {
+    return transfer(src, dst, bits / 8.0, ready_time, server_endpoint);
+  }
+
+  /// Total payload bytes moved since construction/reset.
+  double total_bytes() const { return total_bytes_; }
+  std::size_t total_messages() const { return total_messages_; }
+
+  /// Earliest time a new transfer out of `node` could start.
+  double egress_free(std::size_t node) const;
+  /// Earliest time a new transfer into `node` could start.
+  double ingress_free(std::size_t node) const;
+
+  /// Clears NIC occupancy and statistics (new round/new experiment).
+  void reset();
+
+ private:
+  struct NodeNics {
+    double egress_free = 0.0;
+    double ingress_free = 0.0;
+  };
+
+  CostModel model_;
+  std::vector<NodeNics> nodes_;
+  double total_bytes_ = 0.0;
+  std::size_t total_messages_ = 0;
+};
+
+}  // namespace marsit

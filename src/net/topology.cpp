@@ -1,0 +1,108 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+
+namespace marsit {
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kRing:
+      return "ring";
+    case TopologyKind::kTorus2d:
+      return "torus2d";
+    case TopologyKind::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+Topology Topology::ring(std::size_t num_nodes) {
+  MARSIT_CHECK(num_nodes >= 2) << "ring needs at least 2 nodes";
+  return Topology(TopologyKind::kRing, num_nodes, 0, 0);
+}
+
+Topology Topology::torus2d(std::size_t rows, std::size_t cols) {
+  MARSIT_CHECK(rows >= 2 && cols >= 2)
+      << "torus needs rows, cols >= 2 (got " << rows << "x" << cols << ")";
+  return Topology(TopologyKind::kTorus2d, rows * cols, rows, cols);
+}
+
+Topology Topology::star(std::size_t num_workers) {
+  MARSIT_CHECK(num_workers >= 1) << "star needs at least one worker";
+  return Topology(TopologyKind::kStar, num_workers + 1, 0, 0);
+}
+
+std::size_t Topology::num_workers() const {
+  return kind_ == TopologyKind::kStar ? num_nodes_ - 1 : num_nodes_;
+}
+
+std::size_t Topology::ring_next(std::size_t node) const {
+  MARSIT_CHECK(kind_ == TopologyKind::kRing) << "ring_next on non-ring";
+  MARSIT_CHECK(node < num_nodes_) << "node out of range";
+  return (node + 1) % num_nodes_;
+}
+
+std::size_t Topology::ring_prev(std::size_t node) const {
+  MARSIT_CHECK(kind_ == TopologyKind::kRing) << "ring_prev on non-ring";
+  MARSIT_CHECK(node < num_nodes_) << "node out of range";
+  return (node + num_nodes_ - 1) % num_nodes_;
+}
+
+std::size_t Topology::torus_rows() const {
+  MARSIT_CHECK(kind_ == TopologyKind::kTorus2d) << "torus accessor on non-torus";
+  return rows_;
+}
+
+std::size_t Topology::torus_cols() const {
+  MARSIT_CHECK(kind_ == TopologyKind::kTorus2d) << "torus accessor on non-torus";
+  return cols_;
+}
+
+std::size_t Topology::torus_node(std::size_t row, std::size_t col) const {
+  MARSIT_CHECK(kind_ == TopologyKind::kTorus2d) << "torus accessor on non-torus";
+  MARSIT_CHECK(row < rows_ && col < cols_) << "torus coordinate out of range";
+  return row * cols_ + col;
+}
+
+std::size_t Topology::torus_row_of(std::size_t node) const {
+  MARSIT_CHECK(kind_ == TopologyKind::kTorus2d) << "torus accessor on non-torus";
+  MARSIT_CHECK(node < num_nodes_) << "node out of range";
+  return node / cols_;
+}
+
+std::size_t Topology::torus_col_of(std::size_t node) const {
+  MARSIT_CHECK(kind_ == TopologyKind::kTorus2d) << "torus accessor on non-torus";
+  MARSIT_CHECK(node < num_nodes_) << "node out of range";
+  return node % cols_;
+}
+
+std::size_t Topology::torus_row_next(std::size_t node) const {
+  const std::size_t row = torus_row_of(node);
+  const std::size_t col = torus_col_of(node);
+  return torus_node(row, (col + 1) % cols_);
+}
+
+std::size_t Topology::torus_col_next(std::size_t node) const {
+  const std::size_t row = torus_row_of(node);
+  const std::size_t col = torus_col_of(node);
+  return torus_node((row + 1) % rows_, col);
+}
+
+std::size_t Topology::star_server() const {
+  MARSIT_CHECK(kind_ == TopologyKind::kStar) << "star_server on non-star";
+  return num_nodes_ - 1;
+}
+
+std::string Topology::debug_string() const {
+  std::ostringstream out;
+  out << topology_kind_name(kind_) << "(";
+  if (kind_ == TopologyKind::kTorus2d) {
+    out << rows_ << "x" << cols_;
+  } else {
+    out << num_workers() << " workers";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace marsit

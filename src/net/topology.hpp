@@ -1,0 +1,69 @@
+// Cluster topologies for multi-hop all-reduce.
+//
+// Three shapes cover the paper: a ring (RAR), a 2-D torus (TAR), and a star
+// (parameter server).  A Topology knows node count, neighbor relations, and
+// the torus row/column decomposition the TAR collective schedules over.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+enum class TopologyKind { kRing, kTorus2d, kStar };
+
+const char* topology_kind_name(TopologyKind kind);
+
+class Topology {
+ public:
+  /// Unidirectional ring over `num_nodes` >= 2 workers; messages flow from
+  /// node i to node (i+1) mod M.
+  static Topology ring(std::size_t num_nodes);
+
+  /// rows × cols torus, both >= 2.  Node id = r*cols + c.
+  static Topology torus2d(std::size_t rows, std::size_t cols);
+
+  /// Star with `num_workers` >= 1 leaves plus a dedicated server.  The server
+  /// is node id num_workers (the last id); leaves are 0..num_workers-1.
+  static Topology star(std::size_t num_workers);
+
+  TopologyKind kind() const { return kind_; }
+  /// Total node count including the PS server for star.
+  std::size_t num_nodes() const { return num_nodes_; }
+  /// Worker count (excludes the star's server node).
+  std::size_t num_workers() const;
+
+  // Ring accessors.
+  std::size_t ring_next(std::size_t node) const;
+  std::size_t ring_prev(std::size_t node) const;
+
+  // Torus accessors.
+  std::size_t torus_rows() const;
+  std::size_t torus_cols() const;
+  std::size_t torus_node(std::size_t row, std::size_t col) const;
+  std::size_t torus_row_of(std::size_t node) const;
+  std::size_t torus_col_of(std::size_t node) const;
+  /// Next node along the same row ring / column ring.
+  std::size_t torus_row_next(std::size_t node) const;
+  std::size_t torus_col_next(std::size_t node) const;
+
+  // Star accessors.
+  std::size_t star_server() const;
+
+  std::string debug_string() const;
+
+ private:
+  Topology(TopologyKind kind, std::size_t num_nodes, std::size_t rows,
+           std::size_t cols)
+      : kind_(kind), num_nodes_(num_nodes), rows_(rows), cols_(cols) {}
+
+  TopologyKind kind_;
+  std::size_t num_nodes_;
+  std::size_t rows_;  // torus only
+  std::size_t cols_;  // torus only
+};
+
+}  // namespace marsit

@@ -1,0 +1,66 @@
+// Token embedding and sequence mean-pooling — the text-classification
+// substrate standing in for DistilBERT on IMDb (DESIGN.md §2).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace marsit {
+
+/// Embedding lookup.  Input: seq_len token ids carried as floats (each value
+/// must be an integer in [0, vocab)); output: seq_len × dim embeddings.
+class Embedding final : public Layer {
+ public:
+  Embedding(std::size_t vocab_size, std::size_t dim, std::size_t seq_len);
+
+  std::string name() const override;
+  std::size_t in_size() const override { return seq_len_; }
+  std::size_t out_size() const override { return seq_len_ * dim_; }
+
+  void forward(std::span<const float> x, std::size_t batch,
+               std::span<float> y) override;
+  /// dx is zero (token ids are not differentiable); gradients accumulate
+  /// into the embedding table rows.
+  void backward(std::span<const float> dy, std::size_t batch,
+                std::span<float> dx) override;
+
+  std::span<float> params() override { return table_.span(); }
+  std::span<const float> params() const override { return table_.span(); }
+  std::span<float> grads() override { return grad_.span(); }
+
+  void init(Rng& rng) override;
+
+  double forward_macs_per_sample() const override {
+    // Table lookups: one copy of `dim` floats per token.
+    return static_cast<double>(seq_len_) * static_cast<double>(dim_);
+  }
+
+ private:
+  std::size_t vocab_;
+  std::size_t dim_;
+  std::size_t seq_len_;
+  Tensor table_;  // vocab × dim
+  Tensor grad_;
+  std::vector<std::size_t> cached_ids_;
+};
+
+/// Mean over the sequence axis: (seq_len, dim) → (dim).
+class MeanPool final : public Layer {
+ public:
+  MeanPool(std::size_t seq_len, std::size_t dim);
+
+  std::string name() const override { return "MeanPool"; }
+  std::size_t in_size() const override { return seq_len_ * dim_; }
+  std::size_t out_size() const override { return dim_; }
+
+  void forward(std::span<const float> x, std::size_t batch,
+               std::span<float> y) override;
+  void backward(std::span<const float> dy, std::size_t batch,
+                std::span<float> dx) override;
+
+ private:
+  std::size_t seq_len_;
+  std::size_t dim_;
+};
+
+}  // namespace marsit

@@ -1,0 +1,16 @@
+#include "nn/layer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace marsit {
+
+void Layer::zero_grads() {
+  auto g = grads();
+  if (!g.empty()) {
+    zero(g);
+  }
+}
+
+void Layer::init(Rng& rng) { (void)rng; }
+
+}  // namespace marsit

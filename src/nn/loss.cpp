@@ -1,0 +1,85 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+namespace {
+
+LossResult run(std::span<const float> logits,
+               std::span<const std::size_t> labels, std::size_t num_classes,
+               std::span<float>* dlogits) {
+  MARSIT_CHECK(num_classes >= 2) << "need at least two classes";
+  MARSIT_CHECK(!labels.empty()) << "empty batch";
+  MARSIT_CHECK(logits.size() == labels.size() * num_classes)
+      << "logit extent " << logits.size() << " vs batch "
+      << labels.size() << " x " << num_classes;
+  if (dlogits != nullptr) {
+    MARSIT_CHECK(dlogits->size() == logits.size()) << "dlogits extent";
+  }
+
+  const std::size_t batch = labels.size();
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  LossResult result;
+  std::vector<double> probs(num_classes);
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    MARSIT_CHECK(labels[n] < num_classes)
+        << "label " << labels[n] << " out of " << num_classes;
+    const float* row = logits.data() + n * num_classes;
+
+    float max_logit = row[0];
+    std::size_t arg = 0;
+    for (std::size_t c = 1; c < num_classes; ++c) {
+      if (row[c] > max_logit) {
+        max_logit = row[c];
+        arg = c;
+      }
+    }
+    if (arg == labels[n]) {
+      ++result.correct;
+    }
+
+    double denom = 0.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      probs[c] = std::exp(static_cast<double>(row[c] - max_logit));
+      denom += probs[c];
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      probs[c] /= denom;
+    }
+    // -log p[label], clamped away from 0 so a catastrophically confident
+    // wrong prediction yields a large finite loss instead of inf.
+    result.loss += -std::log(std::max(probs[labels[n]], 1e-12));
+
+    if (dlogits != nullptr) {
+      float* drow = dlogits->data() + n * num_classes;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        drow[c] = static_cast<float>(
+            (probs[c] - (c == labels[n] ? 1.0 : 0.0)) * inv_batch);
+      }
+    }
+  }
+  result.loss *= inv_batch;
+  return result;
+}
+
+}  // namespace
+
+LossResult softmax_cross_entropy(std::span<const float> logits,
+                                 std::span<const std::size_t> labels,
+                                 std::size_t num_classes,
+                                 std::span<float> dlogits) {
+  return run(logits, labels, num_classes, &dlogits);
+}
+
+LossResult softmax_cross_entropy_eval(std::span<const float> logits,
+                                      std::span<const std::size_t> labels,
+                                      std::size_t num_classes) {
+  return run(logits, labels, num_classes, nullptr);
+}
+
+}  // namespace marsit

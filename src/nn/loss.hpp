@@ -1,0 +1,29 @@
+// Softmax cross-entropy over integer class labels — the loss of every task
+// in the paper's evaluation (image classification and binary sentiment).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace marsit {
+
+struct LossResult {
+  double loss = 0.0;        // mean over the batch
+  std::size_t correct = 0;  // top-1 hits in the batch
+};
+
+/// Computes mean cross-entropy of `logits` (batch × classes) against
+/// `labels` and writes dL/dlogits (softmax − onehot, already divided by the
+/// batch size) into `dlogits`.  Numerically stabilized by max-shift.
+LossResult softmax_cross_entropy(std::span<const float> logits,
+                                 std::span<const std::size_t> labels,
+                                 std::size_t num_classes,
+                                 std::span<float> dlogits);
+
+/// Evaluation-only variant (no gradient buffer).
+LossResult softmax_cross_entropy_eval(std::span<const float> logits,
+                                      std::span<const std::size_t> labels,
+                                      std::size_t num_classes);
+
+}  // namespace marsit

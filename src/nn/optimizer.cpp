@@ -1,0 +1,86 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+void SgdOptimizer::transform(std::span<const float> grad,
+                             std::span<float> direction) {
+  copy_into(grad, direction);
+}
+
+std::unique_ptr<LocalOptimizer> SgdOptimizer::clone_fresh() const {
+  return std::make_unique<SgdOptimizer>();
+}
+
+MomentumOptimizer::MomentumOptimizer(float mu) : mu_(mu) {
+  MARSIT_CHECK(mu_ >= 0.0f && mu_ < 1.0f) << "momentum out of [0,1)";
+}
+
+void MomentumOptimizer::transform(std::span<const float> grad,
+                                  std::span<float> direction) {
+  if (velocity_.size() != grad.size()) {
+    velocity_ = Tensor(grad.size());
+  }
+  auto v = velocity_.span();
+  scale(v, mu_);
+  axpy(1.0f, grad, v);
+  copy_into(v, direction);
+}
+
+std::unique_ptr<LocalOptimizer> MomentumOptimizer::clone_fresh() const {
+  return std::make_unique<MomentumOptimizer>(mu_);
+}
+
+AdamOptimizer::AdamOptimizer(float beta1, float beta2, float epsilon)
+    : beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  MARSIT_CHECK(beta1_ >= 0.0f && beta1_ < 1.0f) << "beta1 out of [0,1)";
+  MARSIT_CHECK(beta2_ >= 0.0f && beta2_ < 1.0f) << "beta2 out of [0,1)";
+  MARSIT_CHECK(epsilon_ > 0.0f) << "epsilon must be positive";
+}
+
+void AdamOptimizer::transform(std::span<const float> grad,
+                              std::span<float> direction) {
+  if (m_.size() != grad.size()) {
+    m_ = Tensor(grad.size());
+    v_ = Tensor(grad.size());
+    step_ = 0;
+  }
+  ++step_;
+  auto m = m_.span();
+  auto v = v_.span();
+  const double bc1 =
+      1.0 - std::pow(static_cast<double>(beta1_), static_cast<double>(step_));
+  const double bc2 =
+      1.0 - std::pow(static_cast<double>(beta2_), static_cast<double>(step_));
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad[i];
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad[i] * grad[i];
+    const double m_hat = static_cast<double>(m[i]) / bc1;
+    const double v_hat = static_cast<double>(v[i]) / bc2;
+    direction[i] = static_cast<float>(
+        m_hat / (std::sqrt(v_hat) + static_cast<double>(epsilon_)));
+  }
+}
+
+std::unique_ptr<LocalOptimizer> AdamOptimizer::clone_fresh() const {
+  return std::make_unique<AdamOptimizer>(beta1_, beta2_, epsilon_);
+}
+
+std::unique_ptr<LocalOptimizer> make_optimizer(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>();
+    case OptimizerKind::kMomentum:
+      return std::make_unique<MomentumOptimizer>();
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>();
+  }
+  MARSIT_CHECK(false) << "unknown optimizer kind";
+  return nullptr;
+}
+
+}  // namespace marsit

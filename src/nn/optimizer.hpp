@@ -1,0 +1,78 @@
+// Worker-local optimizers.
+//
+// In the paper's setup every worker transforms its raw stochastic gradient
+// with a local optimizer (Momentum for the image tasks, Adam for sentiment)
+// before the synchronization framework aggregates the result (Algorithm 2
+// feeds η_l·g into Marsit; the same pattern applies to the baselines).
+// LocalOptimizer captures that: transform(grad) → update direction, keeping
+// per-worker state (velocity / moments) across rounds.  The *global*
+// stepsize is owned by the sync strategy / trainer, not here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace marsit {
+
+class LocalOptimizer {
+ public:
+  virtual ~LocalOptimizer() = default;
+  virtual std::string name() const = 0;
+  /// Writes the update direction for this round's gradient; `direction` may
+  /// not alias `grad`.
+  virtual void transform(std::span<const float> grad,
+                         std::span<float> direction) = 0;
+  virtual std::unique_ptr<LocalOptimizer> clone_fresh() const = 0;
+};
+
+/// Plain SGD: direction = grad.
+class SgdOptimizer final : public LocalOptimizer {
+ public:
+  std::string name() const override { return "SGD"; }
+  void transform(std::span<const float> grad,
+                 std::span<float> direction) override;
+  std::unique_ptr<LocalOptimizer> clone_fresh() const override;
+};
+
+/// Heavy-ball momentum: v ← μ·v + grad; direction = v.
+class MomentumOptimizer final : public LocalOptimizer {
+ public:
+  explicit MomentumOptimizer(float mu = 0.9f);
+  std::string name() const override { return "Momentum"; }
+  void transform(std::span<const float> grad,
+                 std::span<float> direction) override;
+  std::unique_ptr<LocalOptimizer> clone_fresh() const override;
+
+ private:
+  float mu_;
+  Tensor velocity_;
+};
+
+/// Adam with bias correction; direction = m̂ / (√v̂ + ε).
+class AdamOptimizer final : public LocalOptimizer {
+ public:
+  AdamOptimizer(float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f);
+  std::string name() const override { return "Adam"; }
+  void transform(std::span<const float> grad,
+                 std::span<float> direction) override;
+  std::unique_ptr<LocalOptimizer> clone_fresh() const override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::size_t step_ = 0;
+  Tensor m_;
+  Tensor v_;
+};
+
+enum class OptimizerKind { kSgd, kMomentum, kAdam };
+
+std::unique_ptr<LocalOptimizer> make_optimizer(OptimizerKind kind);
+
+}  // namespace marsit

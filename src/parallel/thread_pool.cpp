@@ -1,0 +1,103 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& thread : threads_) {
+    thread.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MARSIT_CHECK(task != nullptr) << "null task submitted to pool";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MARSIT_CHECK(!stopping_) << "submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (count == 1 || pool.num_threads() == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  const std::size_t blocks = std::min(count, pool.num_threads());
+  const std::size_t per_block = (count + blocks - 1) / blocks;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * per_block;
+    const std::size_t end = std::min(count, begin + per_block);
+    if (begin >= end) {
+      break;
+    }
+    pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace marsit

@@ -1,0 +1,66 @@
+// Fixed-size worker thread pool.
+//
+// The distributed-training simulator computes M workers' gradients per round;
+// those computations are independent, so DistributedTrainer fans them out
+// over this pool.  The pool is deliberately simple: a mutex-guarded deque and
+// a blocking wait — task granularity in this project is milliseconds, so a
+// work-stealing scheduler would be complexity without benefit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace marsit {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency,
+  /// at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw: the simulator's tasks report
+  /// errors through their captured state, and an escaping exception would
+  /// otherwise terminate the process inside a pool thread.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  Safe to call
+  /// repeatedly; concurrent submit from other threads during wait_idle is
+  /// not supported (the simulator is a single-producer).
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool, blocking until all
+/// iterations finish.  Iterations are distributed in contiguous blocks, one
+/// block per pool thread, which keeps each simulated worker's RNG use on a
+/// stable thread.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Global pool shared by the simulator (constructed on first use).
+ThreadPool& global_thread_pool();
+
+}  // namespace marsit

@@ -1,0 +1,256 @@
+#include "sim/trainer.hpp"
+
+#include <algorithm>
+
+#include "collectives/aggregators.hpp"
+#include "nn/loss.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace marsit {
+
+namespace {
+// Procedural datasets are unbounded; carve disjoint train/test index ranges.
+constexpr std::uint64_t kTrainRange = 1u << 22;
+constexpr std::uint64_t kTestRange = 1u << 16;
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(
+    const Dataset& dataset, std::function<Sequential()> model_factory,
+    SyncStrategy& strategy, TrainerConfig config)
+    : dataset_(dataset),
+      strategy_(strategy),
+      config_(config),
+      sampler_(dataset, strategy.config().num_workers,
+               config.batch_size_per_worker, kTrainRange, kTestRange,
+               derive_seed(config.seed, 0xda7a)) {
+  const std::size_t m = strategy_.config().num_workers;
+  MARSIT_CHECK(m >= 2) << "trainer needs at least two workers";
+  MARSIT_CHECK(model_factory != nullptr) << "null model factory";
+
+  replicas_.reserve(m);
+  for (std::size_t w = 0; w < m; ++w) {
+    replicas_.push_back(model_factory());
+    Rng init_rng(derive_seed(config_.seed, 0x1417));
+    replicas_.back().init(init_rng);  // same seed => identical replicas
+  }
+  param_count_ = replicas_.front().param_count();
+  MARSIT_CHECK(param_count_ > 0) << "model has no parameters";
+  MARSIT_CHECK(replicas_.front().in_size() == dataset_.sample_size())
+      << "model input " << replicas_.front().in_size()
+      << " vs dataset sample " << dataset_.sample_size();
+  MARSIT_CHECK(replicas_.front().out_size() == dataset_.num_classes())
+      << "model output " << replicas_.front().out_size()
+      << " vs dataset classes " << dataset_.num_classes();
+
+  optimizers_.reserve(m);
+  for (std::size_t w = 0; w < m; ++w) {
+    optimizers_.push_back(make_optimizer(config_.optimizer));
+  }
+  updates_.assign(m, Tensor(param_count_));
+  grad_scratch_.assign(m, Tensor(param_count_));
+  snapshots_.resize(m);
+  batches_.resize(m);
+  global_update_ = Tensor(param_count_);
+}
+
+double DistributedTrainer::compute_seconds_per_round() const {
+  const double flops =
+      replicas_.front().flops_per_sample() *
+      static_cast<double>(config_.batch_size_per_worker) *
+      static_cast<double>(std::max<std::size_t>(1, config_.local_steps));
+  return strategy_.config().cost_model.compute_seconds(flops);
+}
+
+void DistributedTrainer::worker_round(std::size_t worker, std::size_t round,
+                                      float eta_l) {
+  Sequential& model = replicas_[worker];
+  Batch& batch = batches_[worker];
+  const std::size_t local_steps = std::max<std::size_t>(1, config_.local_steps);
+
+  if (local_steps > 1 && snapshots_[worker].size() != param_count_) {
+    snapshots_[worker] = Tensor(param_count_);
+  }
+  if (local_steps > 1) {
+    model.copy_params_into(snapshots_[worker].span());
+  }
+
+  for (std::size_t h = 0; h < local_steps; ++h) {
+    sampler_.worker_batch(worker, round * local_steps + h, batch);
+
+    model.zero_grads();
+    const auto logits = model.forward(batch.inputs.span(), batch.size());
+    Tensor dlogits(logits.size());
+    softmax_cross_entropy(logits, {batch.labels.data(), batch.labels.size()},
+                          dataset_.num_classes(), dlogits.span());
+    model.backward(dlogits.span(), batch.size());
+
+    model.copy_grads_into(grad_scratch_[worker].span());
+    if (config_.clip_grad_norm > 0.0f) {
+      const float norm = l2_norm(grad_scratch_[worker].span());
+      if (norm > config_.clip_grad_norm) {
+        scale(grad_scratch_[worker].span(), config_.clip_grad_norm / norm);
+      }
+    }
+    optimizers_[worker]->transform(grad_scratch_[worker].span(),
+                                   updates_[worker].span());
+    scale(updates_[worker].span(), eta_l);
+    if (local_steps > 1) {
+      // Walk the replica locally; the synchronized vector is the total
+      // movement, computed below.
+      model.apply_update(updates_[worker].span());
+    }
+  }
+
+  if (local_steps > 1) {
+    // u_m = x_before − x_after (so x ← x − u replays the local walk), then
+    // rewind: the *global* update must be the only state change so replicas
+    // stay consistent.
+    model.copy_params_into(grad_scratch_[worker].span());
+    sub(snapshots_[worker].span(), grad_scratch_[worker].span(),
+        updates_[worker].span());
+    model.load_params(snapshots_[worker].span());
+  }
+}
+
+EvalPoint DistributedTrainer::evaluate(std::size_t samples) {
+  EvalPoint point;
+  point.sim_seconds = cumulative_seconds_;
+  point.wire_gigabits = cumulative_bits_ / 1e9;
+
+  Sequential& model = replicas_.front();
+  Batch batch;
+  std::size_t done = 0;
+  std::size_t correct = 0;
+  double loss = 0.0;
+  std::size_t block = 0;
+  const std::size_t chunk = std::min<std::size_t>(samples, 256);
+  while (done < samples) {
+    const std::size_t take = std::min(chunk, samples - done);
+    sampler_.test_batch(take, block++, batch);
+    const auto logits = model.forward(batch.inputs.span(), batch.size());
+    const LossResult result = softmax_cross_entropy_eval(
+        logits, {batch.labels.data(), batch.labels.size()},
+        dataset_.num_classes());
+    correct += result.correct;
+    loss += result.loss * static_cast<double>(take);
+    done += take;
+  }
+  point.test_accuracy =
+      static_cast<double>(correct) / static_cast<double>(samples);
+  point.test_loss = loss / static_cast<double>(samples);
+  return point;
+}
+
+TrainResult DistributedTrainer::train() {
+  const std::size_t m = strategy_.config().num_workers;
+  const double compute_seconds = compute_seconds_per_round();
+
+  TrainResult result;
+  PhaseTimes phase_totals;
+  double bits_per_element_total = 0.0;
+  double matching_total = 0.0;
+  float eta_l = config_.eta_l;
+  Tensor exact_mean(param_count_);
+
+  cumulative_seconds_ = 0.0;
+  cumulative_bits_ = 0.0;
+
+  for (std::size_t t = 0; t < config_.rounds; ++t) {
+    if (std::find(config_.lr_decay_rounds.begin(),
+                  config_.lr_decay_rounds.end(),
+                  t) != config_.lr_decay_rounds.end()) {
+      eta_l *= config_.lr_decay_factor;
+    }
+
+    if (config_.parallel_workers) {
+      parallel_for(global_thread_pool(), m, [&](std::size_t w) {
+        worker_round(w, t, eta_l);
+      });
+    } else {
+      for (std::size_t w = 0; w < m; ++w) {
+        worker_round(w, t, eta_l);
+      }
+    }
+
+    WorkerSpans spans;
+    spans.reserve(m);
+    for (std::size_t w = 0; w < m; ++w) {
+      spans.push_back(updates_[w].span());
+    }
+    const SyncStepResult step =
+        strategy_.synchronize(spans, global_update_.span());
+
+    if (config_.track_matching_rate) {
+      aggregate_mean(spans, exact_mean.span());
+      matching_total +=
+          sign_matching_rate(exact_mean.span(), global_update_.span());
+    }
+
+    for (auto& replica : replicas_) {
+      replica.apply_update(global_update_.span());
+    }
+
+    cumulative_seconds_ += compute_seconds + step.timing.completion_seconds;
+    cumulative_bits_ += step.timing.total_wire_bits;
+    bits_per_element_total += step.bits_per_element;
+    phase_totals.compute += compute_seconds;
+    phase_totals.compression += step.timing.compression_seconds_per_worker();
+    phase_totals.communication += step.timing.communication_seconds();
+    result.rounds_completed = t + 1;
+
+    if (!all_finite(global_update_.span()) ||
+        !all_finite(updates_.front().span())) {
+      result.diverged = true;
+      MARSIT_LOG(kWarning) << "training diverged at round " << t;
+      break;
+    }
+
+    const bool eval_now = config_.eval_interval > 0 &&
+                          ((t + 1) % config_.eval_interval == 0 ||
+                           t + 1 == config_.rounds);
+    if (eval_now) {
+      EvalPoint point = evaluate(config_.eval_samples);
+      point.round = t + 1;
+      result.best_test_accuracy =
+          std::max(result.best_test_accuracy, point.test_accuracy);
+      result.evals.push_back(point);
+      if (config_.stop_accuracy &&
+          point.test_accuracy >= *config_.stop_accuracy) {
+        result.reached_stop_accuracy = true;
+        break;
+      }
+    }
+  }
+
+  if (result.evals.empty() || result.evals.back().round !=
+                                  result.rounds_completed) {
+    if (!result.diverged) {
+      EvalPoint point = evaluate(config_.eval_samples);
+      point.round = result.rounds_completed;
+      result.best_test_accuracy =
+          std::max(result.best_test_accuracy, point.test_accuracy);
+      result.evals.push_back(point);
+    }
+  }
+  if (!result.evals.empty()) {
+    result.final_test_accuracy = result.evals.back().test_accuracy;
+  }
+
+  const double rounds = static_cast<double>(
+      std::max<std::size_t>(1, result.rounds_completed));
+  result.sim_seconds = cumulative_seconds_;
+  result.total_wire_bits = cumulative_bits_;
+  result.mean_round_phases.compute = phase_totals.compute / rounds;
+  result.mean_round_phases.compression = phase_totals.compression / rounds;
+  result.mean_round_phases.communication =
+      phase_totals.communication / rounds;
+  result.mean_bits_per_element = bits_per_element_total / rounds;
+  result.mean_matching_rate =
+      config_.track_matching_rate ? matching_total / rounds : 0.0;
+  return result;
+}
+
+}  // namespace marsit

@@ -1,0 +1,139 @@
+// DistributedTrainer — the end-to-end training simulator.
+//
+// Simulates M workers doing data-parallel training with a pluggable
+// synchronization strategy (Marsit or any baseline):
+//
+//   * every worker owns a full model replica, initialized from the same seed
+//     (bit-identical start) and updated with the identical global update
+//     every round, so replicas stay consistent — exactly the MAR invariant;
+//   * per round, workers draw i.i.d. minibatches (the paper's shuffled-cloud
+//     data assumption), compute real gradients (forward/backward on the
+//     synthetic datasets), run their local optimizer (Momentum/Adam/SGD) and
+//     scale by the local stepsize;
+//   * the SyncStrategy aggregates and returns both the global update and the
+//     round's simulated timing (communication + compression), to which the
+//     trainer adds the simulated compute time from the cost model;
+//   * gradient computation fans out over a thread pool (real parallelism for
+//     wall-clock speed; simulated time is unaffected).
+//
+// All reported times are SIMULATED seconds from the cost model, not host
+// wall-clock (DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/sync_strategy.hpp"
+#include "data/dataset.hpp"
+#include "net/cost_model.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace marsit {
+
+struct TrainerConfig {
+  std::size_t batch_size_per_worker = 32;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  /// Local stepsize η_l.
+  float eta_l = 0.05f;
+  /// Per-worker gradient clipping: raw gradients with ℓ2 norm above this
+  /// are rescaled to it before the local optimizer (0 disables).  Deep
+  /// unnormalized nets need it to keep the first momentum steps from
+  /// killing every ReLU.
+  float clip_grad_norm = 0.0f;
+  /// Local updates per synchronization (the paper's "clients perform
+  /// multiple local updates between two successive synchronizations").
+  /// With H > 1 each worker takes H local optimizer steps on its replica,
+  /// the synchronized vector u_m is the accumulated local movement, and the
+  /// replica is rewound before the (consistent) global update is applied.
+  std::size_t local_steps = 1;
+  std::size_t rounds = 200;
+  /// Evaluate on held-out data every `eval_interval` rounds.
+  std::size_t eval_interval = 20;
+  std::size_t eval_samples = 512;
+  std::uint64_t seed = 7;
+  /// Rounds at which η_l is multiplied by lr_decay_factor.
+  std::vector<std::size_t> lr_decay_rounds;
+  float lr_decay_factor = 0.1f;
+  /// Stop as soon as an evaluation reaches this accuracy (Table 1's
+  /// rounds-to-converge protocol); unset = run all rounds.
+  std::optional<double> stop_accuracy;
+  /// Record the per-round sign matching rate between the global update and
+  /// the exact mean update (Figure 1b's metric).  Adds O(M·D) per round.
+  bool track_matching_rate = false;
+  /// Compute worker gradients on the global thread pool.
+  bool parallel_workers = true;
+  /// Samples used for the train_* running metrics (0 disables).
+  std::size_t train_metric_samples = 0;
+};
+
+struct EvalPoint {
+  std::size_t round = 0;            // rounds completed when evaluated
+  double sim_seconds = 0.0;         // cumulative simulated time
+  double wire_gigabits = 0.0;       // cumulative wire traffic
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EvalPoint> evals;
+  double final_test_accuracy = 0.0;
+  double best_test_accuracy = 0.0;
+  std::size_t rounds_completed = 0;
+  bool diverged = false;
+  bool reached_stop_accuracy = false;
+
+  // Cumulative simulated accounting.
+  double sim_seconds = 0.0;
+  double total_wire_bits = 0.0;
+  /// Mean per-round phase split (compute / compression / communication) —
+  /// the stacked bars of Figures 1a and 5.
+  PhaseTimes mean_round_phases;
+  /// Mean wire-format bits per element per round (Figure 3's "Bits").
+  double mean_bits_per_element = 0.0;
+  /// Mean sign matching rate (only if track_matching_rate).
+  double mean_matching_rate = 0.0;
+};
+
+class DistributedTrainer {
+ public:
+  /// `model_factory` must build identical architectures; each replica is
+  /// initialized from config.seed so all workers start at the same point.
+  DistributedTrainer(const Dataset& dataset,
+                     std::function<Sequential()> model_factory,
+                     SyncStrategy& strategy, TrainerConfig config);
+
+  /// Parameter count of the model (the synchronized dimension D).
+  std::size_t param_count() const { return param_count_; }
+
+  /// Simulated seconds of one worker's forward+backward per round.
+  double compute_seconds_per_round() const;
+
+  TrainResult train();
+
+  /// Evaluates replica 0 on `samples` held-out examples.
+  EvalPoint evaluate(std::size_t samples);
+
+ private:
+  void worker_round(std::size_t worker, std::size_t round, float eta_l);
+
+  const Dataset& dataset_;
+  SyncStrategy& strategy_;
+  TrainerConfig config_;
+  ShardedSampler sampler_;
+  std::vector<Sequential> replicas_;
+  std::vector<std::unique_ptr<LocalOptimizer>> optimizers_;
+  std::vector<Tensor> updates_;     // per-worker u_m = η_l · direction
+  std::vector<Batch> batches_;      // per-worker scratch
+  std::vector<Tensor> grad_scratch_;
+  std::vector<Tensor> snapshots_;   // pre-round params (local_steps > 1)
+  Tensor global_update_;
+  std::size_t param_count_ = 0;
+
+  // Running totals (populated during train()).
+  double cumulative_seconds_ = 0.0;
+  double cumulative_bits_ = 0.0;
+};
+
+}  // namespace marsit

@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+namespace marsit::detail {
+
+void throw_check_error(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  std::ostringstream out;
+  out << "MARSIT_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace marsit::detail

@@ -1,0 +1,75 @@
+// Error-handling primitives used across all marsit libraries.
+//
+// MARSIT_CHECK is an always-on invariant check for API boundaries: it throws
+// marsit::CheckError with the failing expression, location, and an optional
+// formatted message.  Internal hot-loop invariants use assert() instead so
+// release builds pay nothing for them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace marsit {
+
+/// Thrown when a MARSIT_CHECK invariant fails.  Deriving from
+/// std::logic_error: a failed check is a programming error, not an
+/// environmental condition.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+/// Builds the exception message for a failed check.  Out-of-line so the
+/// failure path adds minimal code at every check site.
+[[noreturn]] void throw_check_error(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+
+/// Accumulates the optional streamed message of a MARSIT_CHECK.  The
+/// operator<< chain is only evaluated on the failure path.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void fail() const {
+    throw_check_error(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace marsit
+
+/// Always-on invariant check.  Usage:
+///   MARSIT_CHECK(i < size()) << "index " << i << " out of range";
+/// The streamed message is optional and only evaluated when the check fails.
+#define MARSIT_CHECK(expr)                                                   \
+  if (expr) {                                                                \
+  } else                                                                     \
+    ::marsit::detail::CheckFailTrigger{} &                                   \
+        ::marsit::detail::CheckMessageBuilder(#expr, __FILE__, __LINE__)
+
+namespace marsit::detail {
+
+/// Helper that turns the builder expression into a [[noreturn]] statement.
+struct CheckFailTrigger {
+  [[noreturn]] void operator&(const CheckMessageBuilder& builder) const {
+    builder.fail();
+  }
+};
+
+}  // namespace marsit::detail

@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace marsit {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+double elapsed_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+LogRecord::~LogRecord() {
+  const std::string message = stream_.str();
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed_seconds(),
+               level_tag(level_), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace marsit

@@ -1,0 +1,47 @@
+// Minimal leveled logging.  The training simulator emits progress at Info,
+// the collectives emit per-hop traces at Debug (off by default), and the
+// test binaries silence everything below Warning.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace marsit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level.  Not thread-synchronized by design: it is set
+/// once at startup before worker threads exist.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+/// Collects one log record and emits it (with level tag and monotonic
+/// timestamp) to stderr on destruction.  Emission of a whole record is
+/// serialized under a mutex so concurrent workers don't interleave lines.
+class LogRecord {
+ public:
+  explicit LogRecord(LogLevel level) : level_(level) {}
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  ~LogRecord();
+
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace marsit
+
+#define MARSIT_LOG(level)                                  \
+  if (::marsit::LogLevel::level < ::marsit::log_level()) { \
+  } else                                                   \
+    ::marsit::detail::LogRecord(::marsit::LogLevel::level)

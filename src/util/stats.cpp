@@ -1,0 +1,53 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  MARSIT_CHECK(!samples.empty()) << "percentile of empty sample set";
+  MARSIT_CHECK(q >= 0.0 && q <= 1.0) << "quantile " << q << " out of [0,1]";
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double binomial_z_score(std::size_t successes, std::size_t trials, double p) {
+  MARSIT_CHECK(trials > 0) << "binomial z-score needs at least one trial";
+  MARSIT_CHECK(p > 0.0 && p < 1.0) << "degenerate success probability " << p;
+  const double n = static_cast<double>(trials);
+  const double expected = n * p;
+  const double sd = std::sqrt(n * p * (1.0 - p));
+  return (static_cast<double>(successes) - expected) / sd;
+}
+
+}  // namespace marsit

@@ -1,0 +1,39 @@
+// Small online statistics helpers used by tests (distribution checks on the
+// stochastic compressors) and by the benchmark harness (mean ± stddev rows).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace marsit {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample set.  `q` in [0,1].
+double percentile(std::vector<double> samples, double q);
+
+/// Two-sided binomial z-score of observing `successes` out of `trials` under
+/// success probability `p`; tests use |z| thresholds to validate Bernoulli
+/// machinery without flakiness.
+double binomial_z_score(std::size_t successes, std::size_t trials, double p);
+
+}  // namespace marsit

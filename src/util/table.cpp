@@ -1,0 +1,119 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace marsit {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MARSIT_CHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MARSIT_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void TextTable::print_csv(std::ostream& out) const {
+  auto quote = [](const std::string& value) -> std::string {
+    if (value.find_first_of(",\"\n") == std::string::npos) {
+      return value;
+    }
+    std::string quoted = "\"";
+    for (char ch : value) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << quote(row[c]);
+      if (c + 1 < row.size()) {
+        out << ',';
+      }
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_scientific(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", decimals, value);
+  return buffer;
+}
+
+std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  const int decimals = unit == 0 ? 0 : (bytes < 10 ? 2 : 1);
+  return format_fixed(bytes, decimals) + " " + units[unit];
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 1e-3) {
+    return format_fixed(seconds * 1e6, 1) + " us";
+  }
+  if (seconds < 1.0) {
+    return format_fixed(seconds * 1e3, 1) + " ms";
+  }
+  if (seconds < 120.0) {
+    return format_fixed(seconds, 2) + " s";
+  }
+  return format_fixed(seconds / 60.0, 2) + " min";
+}
+
+}  // namespace marsit

@@ -1,0 +1,216 @@
+#include "collectives/aggregators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/sign_codec.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+std::vector<Tensor> random_workers(std::size_t m, std::size_t d,
+                                   std::uint64_t seed) {
+  std::vector<Tensor> workers;
+  Rng rng(seed);
+  for (std::size_t w = 0; w < m; ++w) {
+    Tensor t(d);
+    fill_normal(t.span(), rng, 0.0f, 1.0f);
+    workers.push_back(std::move(t));
+  }
+  return workers;
+}
+
+WorkerSpans spans_of(const std::vector<Tensor>& workers) {
+  WorkerSpans spans;
+  for (const auto& t : workers) {
+    spans.push_back(t.span());
+  }
+  return spans;
+}
+
+TEST(AggregateMeanTest, ExactMean) {
+  std::vector<Tensor> workers;
+  workers.push_back(Tensor{1.0f, 2.0f});
+  workers.push_back(Tensor{3.0f, 6.0f});
+  Tensor out(2);
+  aggregate_mean(spans_of(workers), out.span());
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(AggregateMeanTest, RejectsEmptyAndMismatched) {
+  Tensor out(2);
+  EXPECT_THROW(aggregate_mean({}, out.span()), CheckError);
+  std::vector<Tensor> workers;
+  workers.push_back(Tensor(3));
+  EXPECT_THROW(aggregate_mean(spans_of(workers), out.span()), CheckError);
+}
+
+TEST(AggregateSignSumTest, MatchesManualFold) {
+  const auto workers = random_workers(5, 200, 77);
+  std::vector<BitVector> signs;
+  for (const auto& w : workers) {
+    signs.push_back(pack_signs(w.span()));
+  }
+  const auto aggregate = aggregate_sign_sum(signs);
+  EXPECT_EQ(aggregate.sum.contributions(), 5u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    int expected = 0;
+    for (const auto& w : workers) {
+      expected += w[i] >= 0.0f ? 1 : -1;
+    }
+    ASSERT_EQ(aggregate.sum.value(i), expected) << "element " << i;
+  }
+  EXPECT_TRUE(aggregate.elias_bits_per_element.empty());
+}
+
+TEST(AggregateSignSumTest, RecordsEliasSizesPerContribution) {
+  const auto workers = random_workers(4, 512, 78);
+  std::vector<BitVector> signs;
+  for (const auto& w : workers) {
+    signs.push_back(pack_signs(w.span()));
+  }
+  const auto aggregate = aggregate_sign_sum(signs, true);
+  ASSERT_EQ(aggregate.elias_bits_per_element.size(), 4u);
+  for (double bits : aggregate.elias_bits_per_element) {
+    EXPECT_GT(bits, 0.0);
+    EXPECT_LT(bits, 32.0);
+  }
+}
+
+TEST(CascadingTest, SingleWorkerIsPlainSsdm) {
+  // With M=1, cascading reduces to Q(s)/1 whose expectation is s.
+  std::vector<Tensor> workers;
+  workers.push_back(Tensor{0.5f, -0.5f});
+  Rng rng(80);
+  Tensor out(2);
+  std::vector<double> mean(2, 0.0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    cascading_aggregate(spans_of(workers), rng, out.span(),
+                        CascadeDecode::kUnbiased);
+    mean[0] += out[0];
+    mean[1] += out[1];
+  }
+  const double norm = std::sqrt(0.5);
+  EXPECT_NEAR(mean[0] / trials, 0.5, 5.0 * norm / std::sqrt(trials));
+  EXPECT_NEAR(mean[1] / trials, -0.5, 5.0 * norm / std::sqrt(trials));
+}
+
+TEST(CascadingTest, ExpectationStaysUnbiasedButVarianceExplodesWithM) {
+  // Theorem 3's phenomenon: E[s₃] = s₁ but the deviation grows sharply in M
+  // (compare mean squared deviation at M=2 vs M=6 on matched data).
+  const std::size_t d = 64;
+  auto deviation_for = [&](std::size_t m, std::uint64_t seed) {
+    const auto workers = random_workers(m, d, seed);
+    Tensor exact(d);
+    aggregate_mean(spans_of(workers), exact.span());
+    Rng rng(seed + 1);
+    Tensor out(d);
+    Tensor diff(d);
+    double total = 0.0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+      cascading_aggregate(spans_of(workers), rng, out.span(),
+                          CascadeDecode::kUnbiased);
+      sub(out.span(), exact.span(), diff.span());
+      total += squared_l2_norm(diff.span());
+    }
+    return total / trials;
+  };
+  const double dev2 = deviation_for(2, 500);
+  const double dev6 = deviation_for(6, 501);
+  EXPECT_GT(dev6, 3.0 * dev2);
+}
+
+TEST(CascadingTest, NormPreservingDecodeStaysBounded) {
+  // The deployable decode keeps magnitudes at gradient scale even at M=12,
+  // where the unbiased decode has blown up by ~(√D)^M.
+  const std::size_t d = 256;
+  const auto workers = random_workers(12, d, 502);
+  Rng rng(503);
+  Tensor out(d);
+  cascading_aggregate(spans_of(workers), rng, out.span(),
+                      CascadeDecode::kNormPreserving);
+  EXPECT_TRUE(all_finite(out.span()));
+  Tensor exact(d);
+  aggregate_mean(spans_of(workers), exact.span());
+  // Same order of magnitude as the exact mean (within ~50x), unlike the
+  // unbiased decode whose norm is astronomically larger.
+  EXPECT_LT(l2_norm(out.span()), 50.0f * l2_norm(exact.span()) + 50.0f);
+}
+
+TEST(SsdmPsTest, UnbiasedAggregate) {
+  const auto workers = random_workers(3, 32, 90);
+  Tensor exact(32);
+  aggregate_mean(spans_of(workers), exact.span());
+  Rng rng(91);
+  Tensor out(32);
+  std::vector<double> mean(32, 0.0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    ssdm_ps_aggregate(spans_of(workers), rng, out.span());
+    for (std::size_t i = 0; i < 32; ++i) {
+      mean[i] += out[i];
+    }
+  }
+  // sd of one PS-aggregated element ≈ mean norm / M ≈ 2; 5σ band.
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(mean[i] / trials, exact[i], 5.0 * 2.5 / std::sqrt(trials))
+        << "element " << i;
+  }
+}
+
+TEST(MatchingRateTest, IdenticalVectorsMatchFully) {
+  Tensor a{1.0f, -2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(sign_matching_rate(a.span(), a.span()), 1.0);
+}
+
+TEST(MatchingRateTest, OppositeVectorsMatchZero) {
+  Tensor a{1.0f, -2.0f};
+  Tensor b{-1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(sign_matching_rate(a.span(), b.span()), 0.0);
+}
+
+TEST(MatchingRateTest, PartialMatch) {
+  Tensor a{1.0f, 1.0f, -1.0f, -1.0f};
+  Tensor b{1.0f, -1.0f, -1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(sign_matching_rate(a.span(), b.span()), 0.5);
+}
+
+TEST(MatchingRateTest, ZeroTreatedAsPositive) {
+  Tensor a{0.0f};
+  Tensor b{1.0f};
+  EXPECT_DOUBLE_EQ(sign_matching_rate(a.span(), b.span()), 1.0);
+}
+
+TEST(MatchingRateTest, RejectsMismatchedExtents) {
+  Tensor a(2), b(3);
+  EXPECT_THROW(sign_matching_rate(a.span(), b.span()), CheckError);
+}
+
+TEST(WeightedMatchingRateTest, WeightsByReferenceMagnitude) {
+  // Element 0 carries 9/10 of the mass and matches; element 1 mismatches.
+  Tensor a{9.0f, -1.0f};
+  Tensor b{1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(weighted_sign_matching_rate(a.span(), b.span()), 0.9);
+}
+
+TEST(WeightedMatchingRateTest, EqualWeightsReduceToUnweighted) {
+  Tensor a{1.0f, 1.0f, -1.0f, -1.0f};
+  Tensor b{1.0f, -1.0f, -1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(weighted_sign_matching_rate(a.span(), b.span()),
+                   sign_matching_rate(a.span(), b.span()));
+}
+
+TEST(WeightedMatchingRateTest, RejectsZeroReference) {
+  Tensor a(3), b(3);
+  EXPECT_THROW(weighted_sign_matching_rate(a.span(), b.span()), CheckError);
+}
+
+}  // namespace
+}  // namespace marsit

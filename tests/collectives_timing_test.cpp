@@ -1,0 +1,191 @@
+#include "collectives/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+CostModel test_model() {
+  CostModel model;
+  model.link_alpha = 1.0;
+  model.link_bandwidth = 100.0;  // bytes/s
+  model.server_bandwidth = 100.0;
+  // Make local processing negligible so closed-form checks are exact.
+  model.sign_pack_rate = 1e18;
+  model.sign_unpack_rate = 1e18;
+  model.stochastic_sign_rate = 1e18;
+  model.one_bit_combine_rate = 1e18;
+  model.cascade_recompress_rate = 1e18;
+  model.elias_code_rate = 1e18;
+  return model;
+}
+
+TEST(RingTimingTest, FullPrecisionMatchesClosedForm) {
+  const CostModel model = test_model();
+  NetworkSim net(4, model);
+  const std::size_t m = 4, d = 400;  // seg = 100 elements = 400 bytes
+  const CollectiveTiming timing =
+      ring_allreduce_timing(m, d, full_precision_wire(), net);
+  // 2(M−1) synchronous steps of (α + 400/β) each.
+  EXPECT_NEAR(timing.completion_seconds, 6.0 * (1.0 + 4.0), 1e-9);
+  // Total bits: 2(M−1) steps × M segments × 32·seg bits.
+  EXPECT_NEAR(timing.total_wire_bits, 6.0 * 4.0 * 3200.0, 1e-9);
+  EXPECT_NEAR(timing.bits_per_worker, timing.total_wire_bits / 4.0, 1e-9);
+}
+
+TEST(RingTimingTest, MarsitWireIs32xSmaller) {
+  const CostModel model = test_model();
+  NetworkSim net(4, model);
+  const auto full = ring_allreduce_timing(4, 3200, full_precision_wire(), net);
+  net.reset();
+  const auto one_bit = ring_allreduce_timing(4, 3200, marsit_wire(model), net);
+  EXPECT_NEAR(full.total_wire_bits / one_bit.total_wire_bits, 32.0, 1e-9);
+  EXPECT_LT(one_bit.completion_seconds, full.completion_seconds);
+}
+
+TEST(RingTimingTest, MarsitTotalBitsFormula) {
+  // One-bit ring: 2(M−1)·D bits total when M | D.
+  const CostModel model = test_model();
+  NetworkSim net(8, model);
+  const auto timing = ring_allreduce_timing(8, 800, marsit_wire(model), net);
+  EXPECT_NEAR(timing.total_wire_bits, 2.0 * 7.0 * 800.0, 1e-9);
+}
+
+TEST(RingTimingTest, CascadingSlowerThanMarsitWithRealRates) {
+  CostModel model = test_model();
+  model.cascade_recompress_rate = 10.0;  // 10 elements/s: brutal hops
+  NetworkSim net(4, model);
+  const auto cascade =
+      ring_allreduce_timing(4, 400, cascading_wire(model), net);
+  net.reset();
+  const auto one_bit = ring_allreduce_timing(4, 400, marsit_wire(model), net);
+  EXPECT_GT(cascade.completion_seconds, one_bit.completion_seconds);
+  EXPECT_GT(cascade.compression_seconds_per_worker(),
+            one_bit.compression_seconds_per_worker());
+}
+
+TEST(RingTimingTest, SignSumBitsGrowWithContributions) {
+  const CostModel model = test_model();
+  const WireFormat wire = sign_sum_wire(model);
+  EXPECT_LT(wire.reduce_bits(100, 1), wire.reduce_bits(100, 3));
+  EXPECT_LT(wire.reduce_bits(100, 3), wire.reduce_bits(100, 8));
+  // Gather carries the finalized one-bit decision.
+  EXPECT_NEAR(wire.gather_bits(100), 100.0, 1e-12);
+}
+
+TEST(RingTimingTest, SignSumWireCostsMoreThanMarsit) {
+  const CostModel model = test_model();
+  NetworkSim net(8, model);
+  const auto sign_sum =
+      ring_allreduce_timing(8, 6400, sign_sum_wire(model), net);
+  net.reset();
+  const auto one_bit = ring_allreduce_timing(8, 6400, marsit_wire(model), net);
+  EXPECT_GT(sign_sum.total_wire_bits, one_bit.total_wire_bits);
+  EXPECT_GT(sign_sum.completion_seconds, one_bit.completion_seconds);
+}
+
+TEST(RingTimingTest, RejectsDegenerateArguments) {
+  const CostModel model = test_model();
+  NetworkSim net(4, model);
+  EXPECT_THROW(ring_allreduce_timing(1, 100, marsit_wire(model), net),
+               CheckError);
+  EXPECT_THROW(ring_allreduce_timing(4, 0, marsit_wire(model), net),
+               CheckError);
+  EXPECT_THROW(ring_allreduce_timing(8, 100, marsit_wire(model), net),
+               CheckError);  // network smaller than worker count
+}
+
+TEST(PsTimingTest, ServerCongestionScalesWithWorkers) {
+  const CostModel model = test_model();
+  // Same per-worker payload; PS completion grows ~linearly with M while
+  // ring grows only in step count with shrinking segments.
+  NetworkSim net4(5, model);
+  const auto ps4 = ps_allreduce_timing(4, 400, full_precision_wire(), net4);
+  NetworkSim net8(9, model);
+  const auto ps8 = ps_allreduce_timing(8, 400, full_precision_wire(), net8);
+  EXPECT_GT(ps8.completion_seconds, 1.7 * ps4.completion_seconds);
+}
+
+TEST(PsTimingTest, PsSlowerThanRingForFullPrecision) {
+  // The motivating comparison of §3.1 / Figure 1a.
+  const CostModel model = test_model();
+  const std::size_t m = 8, d = 8000;
+  NetworkSim ps_net(m + 1, model);
+  const auto ps = ps_allreduce_timing(m, d, full_precision_wire(), ps_net);
+  NetworkSim ring_net(m, model);
+  const auto ring = ring_allreduce_timing(m, d, full_precision_wire(),
+                                          ring_net);
+  EXPECT_GT(ps.completion_seconds, ring.completion_seconds);
+}
+
+TEST(PsTimingTest, RequiresServerNode) {
+  const CostModel model = test_model();
+  NetworkSim net(4, model);  // no room for a server
+  EXPECT_THROW(ps_allreduce_timing(4, 100, full_precision_wire(), net),
+               CheckError);
+}
+
+TEST(TorusTimingTest, CompletesAndCountsBits) {
+  const CostModel model = test_model();
+  NetworkSim net(16, model);
+  const auto timing = torus_allreduce_timing(4, 4, 1600, marsit_wire(model),
+                                             net);
+  EXPECT_GT(timing.completion_seconds, 0.0);
+  EXPECT_GT(timing.total_wire_bits, 0.0);
+  EXPECT_GT(timing.bits_per_worker, 0.0);
+}
+
+TEST(TorusTimingTest, FewerLatencyStepsThanRingWhenAlphaDominates) {
+  // 2(√M−1)·2 torus steps vs 2(M−1) ring steps: with α ≫ size/β the torus
+  // wins — the paper's "each baseline takes less time under TAR".
+  CostModel model = test_model();
+  model.link_alpha = 10.0;
+  model.link_bandwidth = 1e12;  // latency-bound
+  const std::size_t m = 16, d = 16000;
+  NetworkSim ring_net(m, model);
+  const auto ring = ring_allreduce_timing(m, d, full_precision_wire(),
+                                          ring_net);
+  NetworkSim torus_net(m, model);
+  const auto torus = torus_allreduce_timing(4, 4, d, full_precision_wire(),
+                                            torus_net);
+  EXPECT_LT(torus.completion_seconds, ring.completion_seconds);
+}
+
+TEST(TorusTimingTest, RejectsDegenerateShapes) {
+  const CostModel model = test_model();
+  NetworkSim net(16, model);
+  EXPECT_THROW(torus_allreduce_timing(1, 16, 100, marsit_wire(model), net),
+               CheckError);
+  EXPECT_THROW(torus_allreduce_timing(8, 4, 100, marsit_wire(model), net),
+               CheckError);  // 32 nodes > 16-node network
+}
+
+TEST(WireFormatTest, EliasWireUsesMeasuredSizes) {
+  const CostModel model = test_model();
+  const WireFormat wire = sign_sum_elias_wire(
+      model, [](std::size_t contributions) {
+        return 1.0 + static_cast<double>(contributions);
+      });
+  EXPECT_NEAR(wire.reduce_bits(10, 3), 40.0, 1e-12);
+  EXPECT_NEAR(wire.gather_bits(10), 10.0, 1e-12);
+}
+
+TEST(WireFormatTest, CascadingCarriesNormScalar) {
+  const CostModel model = test_model();
+  const WireFormat wire = cascading_wire(model);
+  EXPECT_NEAR(wire.reduce_bits(100, 5), 132.0, 1e-12);
+  EXPECT_GT(wire.serial_seconds_per_element, 0.0);
+}
+
+TEST(WireFormatTest, MarsitCombineIsOverlapped) {
+  CostModel model = test_model();
+  model.one_bit_combine_rate = 100.0;
+  const WireFormat wire = marsit_wire(model);
+  EXPECT_DOUBLE_EQ(wire.serial_seconds_per_element, 0.0);
+  EXPECT_GT(wire.overlapped_seconds_per_element, 0.0);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,190 @@
+// Tree all-reduce schedule + the tree one-bit fold — the paper's claimed
+// extension fabric ("can be easily extended to ... tree all-reduce").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/timing.hpp"
+#include "core/sync_strategy.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace marsit {
+namespace {
+
+CostModel test_model() {
+  CostModel model;
+  model.link_alpha = 1.0;
+  model.link_bandwidth = 100.0;
+  model.server_bandwidth = 100.0;
+  model.sign_pack_rate = 1e18;
+  model.sign_unpack_rate = 1e18;
+  model.stochastic_sign_rate = 1e18;
+  model.one_bit_combine_rate = 1e18;
+  model.cascade_recompress_rate = 1e18;
+  model.elias_code_rate = 1e18;
+  return model;
+}
+
+TEST(TreeTimingTest, TwoWorkersIsOneRoundTrip) {
+  const CostModel model = test_model();
+  NetworkSim net(2, model);
+  const auto timing =
+      tree_allreduce_timing(2, 100, full_precision_wire(), net);
+  // One 400-byte reduce transfer + one broadcast transfer: 2·(1 + 4).
+  EXPECT_NEAR(timing.completion_seconds, 2.0 * (1.0 + 4.0), 1e-9);
+  EXPECT_NEAR(timing.total_wire_bits, 2.0 * 3200.0, 1e-9);
+}
+
+TEST(TreeTimingTest, LogDepthScaling) {
+  // Latency-bound: completion grows ~2·⌈log2 M⌉·α, far below the ring's
+  // 2(M−1)·α.
+  CostModel model = test_model();
+  model.link_bandwidth = 1e12;
+  const std::size_t d = 1000;
+  NetworkSim tree_net(16, model);
+  const auto tree = tree_allreduce_timing(16, d, full_precision_wire(),
+                                          tree_net);
+  NetworkSim ring_net(16, model);
+  const auto ring = ring_allreduce_timing(16, d, full_precision_wire(),
+                                          ring_net);
+  EXPECT_LT(tree.completion_seconds, ring.completion_seconds / 2.0);
+}
+
+TEST(TreeTimingTest, BandwidthBoundRingWins) {
+  // The tree moves whole-vector messages; the ring moves 1/M segments in
+  // parallel.  With α = 0 the ring's completion is ~2D/β versus the tree's
+  // ~2·log2(M)·D/β.
+  CostModel model = test_model();
+  model.link_alpha = 0.0;
+  const std::size_t d = 100000;
+  NetworkSim tree_net(16, model);
+  const auto tree = tree_allreduce_timing(16, d, full_precision_wire(),
+                                          tree_net);
+  NetworkSim ring_net(16, model);
+  const auto ring = ring_allreduce_timing(16, d, full_precision_wire(),
+                                          ring_net);
+  EXPECT_GT(tree.completion_seconds, ring.completion_seconds);
+}
+
+TEST(TreeTimingTest, NonPowerOfTwoWorkerCounts) {
+  const CostModel model = test_model();
+  for (std::size_t m : {3u, 5u, 6u, 7u, 12u}) {
+    NetworkSim net(m, model);
+    const auto timing =
+        tree_allreduce_timing(m, 64, marsit_wire(model), net);
+    EXPECT_GT(timing.completion_seconds, 0.0) << "M=" << m;
+    // Reduce needs M−1 merges, broadcast M−1 sends: 2(M−1) messages total.
+    EXPECT_EQ(net.total_messages(), 2 * (m - 1)) << "M=" << m;
+  }
+}
+
+TEST(TreeTimingTest, SignSumPayloadsGrowUpTheTree) {
+  const CostModel model = test_model();
+  NetworkSim fixed_net(8, model);
+  const auto fixed = tree_allreduce_timing(8, 6400, sign_sum_wire(model),
+                                           fixed_net);
+  NetworkSim one_bit_net(8, model);
+  const auto one_bit = tree_allreduce_timing(8, 6400, marsit_wire(model),
+                                             one_bit_net);
+  EXPECT_GT(fixed.total_wire_bits, one_bit.total_wire_bits);
+}
+
+TEST(TreeTimingTest, RejectsDegenerateArguments) {
+  const CostModel model = test_model();
+  NetworkSim net(4, model);
+  EXPECT_THROW(tree_allreduce_timing(1, 10, marsit_wire(model), net),
+               CheckError);
+  EXPECT_THROW(tree_allreduce_timing(8, 10, marsit_wire(model), net),
+               CheckError);
+  EXPECT_THROW(tree_allreduce_timing(4, 0, marsit_wire(model), net),
+               CheckError);
+}
+
+TEST(TreeMarsitTest, TreeParadigmNameAndTiming) {
+  SyncConfig config;
+  config.num_workers = 8;
+  config.paradigm = MarParadigm::kTree;
+  config.seed = 21;
+  MarsitOptions options;
+  options.eta_s = 0.5f;
+  MarsitSync sync(config, options);
+  EXPECT_EQ(sync.name(), "Marsit-TREE");
+
+  std::vector<Tensor> inputs(8, Tensor(32));
+  Rng rng(22);
+  WorkerSpans spans;
+  for (auto& t : inputs) {
+    fill_normal(t.span(), rng, 0.0f, 1.0f);
+    spans.push_back(t.span());
+  }
+  Tensor out(32);
+  const auto step = sync.synchronize(spans, out.span());
+  EXPECT_GT(step.timing.completion_seconds, 0.0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_FLOAT_EQ(std::fabs(out[i]), 0.5f);
+  }
+}
+
+TEST(TreeMarsitTest, TreeFoldIsUnbiased) {
+  // 3 of 5 workers positive on element 0, 1 of 5 on element 1: the binomial
+  // fold's weighted merges must keep P(bit=1) = k/M exactly.
+  SyncConfig config;
+  config.num_workers = 5;
+  config.paradigm = MarParadigm::kTree;
+  MarsitOptions options;
+  options.eta_s = 1.0f;
+
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor{1.0f, 1.0f});
+  inputs.push_back(Tensor{1.0f, -1.0f});
+  inputs.push_back(Tensor{1.0f, -1.0f});
+  inputs.push_back(Tensor{-1.0f, -1.0f});
+  inputs.push_back(Tensor{-1.0f, -1.0f});
+  WorkerSpans spans;
+  for (const auto& t : inputs) {
+    spans.push_back(t.span());
+  }
+
+  double mean0 = 0.0, mean1 = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    SyncConfig cfg = config;
+    cfg.seed = 3000 + t;
+    MarsitSync fresh(cfg, options);
+    Tensor out(2);
+    fresh.synchronize(spans, out.span());
+    mean0 += out[0];
+    mean1 += out[1];
+  }
+  // E[±1] = (2k − M)/M: (6−5)/5 = 0.2 and (2−5)/5 = −0.6.
+  EXPECT_NEAR(mean0 / trials, 0.2, 5.0 / std::sqrt(trials));
+  EXPECT_NEAR(mean1 / trials, -0.6, 5.0 / std::sqrt(trials));
+}
+
+TEST(TreePsgdTest, ExactMeanOnTree) {
+  SyncConfig config;
+  config.num_workers = 6;
+  config.paradigm = MarParadigm::kTree;
+  config.seed = 23;
+  PsgdSync sync(config);
+  EXPECT_EQ(sync.name(), "PSGD-TREE");
+
+  std::vector<Tensor> inputs(6, Tensor(16));
+  Rng rng(24);
+  WorkerSpans spans;
+  for (auto& t : inputs) {
+    fill_normal(t.span(), rng, 0.0f, 1.0f);
+    spans.push_back(t.span());
+  }
+  Tensor out(16), expected(16);
+  sync.synchronize(spans, out.span());
+  aggregate_mean(spans, expected.span());
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_FLOAT_EQ(out[i], expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace marsit

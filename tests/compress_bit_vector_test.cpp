@@ -1,0 +1,121 @@
+#include "compress/bit_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(BitVectorTest, ConstructedAllZero) {
+  BitVector bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.num_words(), 2u);
+  EXPECT_EQ(bits.popcount(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bits.get(i));
+  }
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bits(70);
+  bits.set(0, true);
+  bits.set(63, true);
+  bits.set(64, true);
+  bits.set(69, true);
+  EXPECT_TRUE(bits.get(0));
+  EXPECT_TRUE(bits.get(63));
+  EXPECT_TRUE(bits.get(64));
+  EXPECT_TRUE(bits.get(69));
+  EXPECT_FALSE(bits.get(1));
+  EXPECT_EQ(bits.popcount(), 4u);
+  bits.set(63, false);
+  EXPECT_FALSE(bits.get(63));
+  EXPECT_EQ(bits.popcount(), 3u);
+}
+
+TEST(BitVectorTest, OutOfRangeThrows) {
+  BitVector bits(10);
+  EXPECT_THROW(bits.get(10), CheckError);
+  EXPECT_THROW(bits.set(10, true), CheckError);
+}
+
+TEST(BitVectorTest, FillKeepsTailZero) {
+  BitVector bits(70);  // 6 tail bits in word 1
+  bits.fill(true);
+  EXPECT_EQ(bits.popcount(), 70u);
+  // The tail of the last word must stay clear so word-wise ops are exact.
+  EXPECT_EQ(bits.words()[1] >> 6, 0u);
+}
+
+TEST(BitVectorTest, LogicalOps) {
+  BitVector a(130), b(130);
+  a.set(0, true);
+  a.set(100, true);
+  b.set(100, true);
+  b.set(129, true);
+
+  BitVector and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.popcount(), 1u);
+  EXPECT_TRUE(and_result.get(100));
+
+  BitVector or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.popcount(), 3u);
+
+  BitVector xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.popcount(), 2u);
+  EXPECT_TRUE(xor_result.get(0));
+  EXPECT_TRUE(xor_result.get(129));
+}
+
+TEST(BitVectorTest, OpsRejectSizeMismatch) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a &= b, CheckError);
+  EXPECT_THROW(a |= b, CheckError);
+  EXPECT_THROW(a ^= b, CheckError);
+  EXPECT_THROW((void)a.hamming_distance(b), CheckError);
+}
+
+TEST(BitVectorTest, HammingDistance) {
+  BitVector a(65), b(65);
+  EXPECT_EQ(a.hamming_distance(b), 0u);
+  a.set(3, true);
+  b.set(64, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  b.set(3, true);
+  EXPECT_EQ(a.hamming_distance(b), 1u);
+}
+
+TEST(BitVectorTest, EqualityAndCopies) {
+  BitVector a(40);
+  a.set(5, true);
+  BitVector b = a;
+  EXPECT_EQ(a, b);
+  b.set(6, true);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVectorTest, WireBitsEqualsSize) {
+  BitVector a(123);
+  EXPECT_EQ(a.wire_bits(), 123u);
+}
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bits;
+  EXPECT_TRUE(bits.empty());
+  EXPECT_EQ(bits.num_words(), 0u);
+  EXPECT_EQ(bits.popcount(), 0u);
+}
+
+TEST(BitVectorTest, ExactWordBoundary) {
+  BitVector bits(128);
+  EXPECT_EQ(bits.num_words(), 2u);
+  bits.fill(true);
+  EXPECT_EQ(bits.popcount(), 128u);
+}
+
+}  // namespace
+}  // namespace marsit

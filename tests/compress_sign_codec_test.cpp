@@ -1,0 +1,133 @@
+#include "compress/sign_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(PackSignsTest, SignConvention) {
+  std::vector<float> g{1.5f, -2.0f, 0.0f, -0.0001f, 3.0f};
+  BitVector bits = pack_signs({g.data(), g.size()});
+  EXPECT_TRUE(bits.get(0));
+  EXPECT_FALSE(bits.get(1));
+  EXPECT_TRUE(bits.get(2));  // zero maps to +1
+  EXPECT_FALSE(bits.get(3));
+  EXPECT_TRUE(bits.get(4));
+}
+
+TEST(PackSignsTest, RoundTripThroughUnpack) {
+  std::vector<float> g(200);
+  Rng rng(1);
+  fill_normal({g.data(), g.size()}, rng, 0.0f, 1.0f);
+  BitVector bits = pack_signs({g.data(), g.size()});
+  std::vector<float> decoded(g.size());
+  unpack_signs(bits, 1.0f, {decoded.data(), decoded.size()});
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(decoded[i], g[i] >= 0.0f ? 1.0f : -1.0f) << "index " << i;
+  }
+}
+
+TEST(UnpackSignsTest, ScaleApplied) {
+  std::vector<float> g{2.0f, -3.0f};
+  BitVector bits = pack_signs({g.data(), g.size()});
+  std::vector<float> decoded(2);
+  unpack_signs(bits, 0.5f, {decoded.data(), 2});
+  EXPECT_FLOAT_EQ(decoded[0], 0.5f);
+  EXPECT_FLOAT_EQ(decoded[1], -0.5f);
+}
+
+TEST(UnpackSignsTest, ExtentMismatchThrows) {
+  BitVector bits(4);
+  std::vector<float> out(5);
+  EXPECT_THROW(unpack_signs(bits, 1.0f, {out.data(), out.size()}),
+               CheckError);
+}
+
+TEST(AccumulateSignsTest, AddsScaledSigns) {
+  std::vector<float> g{1.0f, -1.0f};
+  BitVector bits = pack_signs({g.data(), g.size()});
+  std::vector<float> acc{10.0f, 10.0f};
+  accumulate_signs(bits, 2.0f, {acc.data(), 2});
+  EXPECT_FLOAT_EQ(acc[0], 12.0f);
+  EXPECT_FLOAT_EQ(acc[1], 8.0f);
+}
+
+TEST(SsdmTest, ZeroVectorPacksAllPositive) {
+  std::vector<float> g(10, 0.0f);
+  Rng rng(2);
+  BitVector bits = ssdm_pack({g.data(), g.size()}, rng);
+  EXPECT_EQ(bits.popcount(), 10u);
+}
+
+TEST(SsdmTest, DecodedExpectationIsUnbiased) {
+  // E[ norm · sign~(g) ] = g elementwise (Appendix A); check a fixed vector
+  // over many stochastic compressions.
+  std::vector<float> g{0.6f, -0.3f, 0.1f, -0.8f};
+  const float norm = ssdm_norm({g.data(), g.size()});
+  Rng rng(3);
+  std::vector<double> mean(g.size(), 0.0);
+  const int trials = 60000;
+  std::vector<float> decoded(g.size());
+  for (int t = 0; t < trials; ++t) {
+    BitVector bits = ssdm_pack({g.data(), g.size()}, rng);
+    unpack_signs(bits, norm, {decoded.data(), decoded.size()});
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      mean[i] += decoded[i];
+    }
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    mean[i] /= trials;
+    // sd of one decoded element is ≈ norm; sd of the mean ≈ norm/√trials.
+    EXPECT_NEAR(mean[i], g[i], 5.0 * norm / std::sqrt(trials))
+        << "element " << i;
+  }
+}
+
+TEST(SsdmTest, ProbabilityMatchesFormula) {
+  // A single dominant positive element should be +1 with probability
+  // 1/2 + g_i/(2‖g‖).
+  std::vector<float> g{3.0f, -4.0f};  // norm 5; p(+) = 0.8 and 0.1
+  Rng rng(4);
+  std::size_t plus0 = 0, plus1 = 0;
+  const std::size_t trials = 50000;
+  for (std::size_t t = 0; t < trials; ++t) {
+    BitVector bits = ssdm_pack({g.data(), g.size()}, rng);
+    plus0 += bits.get(0);
+    plus1 += bits.get(1);
+  }
+  EXPECT_LT(std::abs(binomial_z_score(plus0, trials, 0.8)), 5.0);
+  EXPECT_LT(std::abs(binomial_z_score(plus1, trials, 0.1)), 5.0);
+}
+
+TEST(ScaledSignTest, ScaleIsMeanAbsoluteValue) {
+  std::vector<float> g{1.0f, -3.0f, 2.0f, 0.0f};
+  EXPECT_FLOAT_EQ(scaled_sign_scale({g.data(), g.size()}), 1.5f);
+}
+
+TEST(ScaledSignTest, EmptyThrows) {
+  EXPECT_THROW(scaled_sign_scale({}), CheckError);
+}
+
+TEST(ScaledSignTest, CompressorReducesL2AtMostIdentity) {
+  // ‖C(g)‖ ≤ ‖g‖ for the scaled-sign compressor (contraction property that
+  // error feedback relies on).
+  std::vector<float> g(128);
+  Rng rng(5);
+  fill_normal({g.data(), g.size()}, rng, 0.0f, 1.0f);
+  const float scale = scaled_sign_scale({g.data(), g.size()});
+  BitVector bits = pack_signs({g.data(), g.size()});
+  std::vector<float> decoded(g.size());
+  unpack_signs(bits, scale, {decoded.data(), decoded.size()});
+  EXPECT_LE(l2_norm({decoded.data(), decoded.size()}),
+            l2_norm({g.data(), g.size()}) + 1e-5f);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,169 @@
+#include "core/distributed_sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+SyncConfig ring_config(std::size_t workers, std::uint64_t seed) {
+  SyncConfig config;
+  config.num_workers = workers;
+  config.paradigm = MarParadigm::kRing;
+  config.seed = seed;
+  return config;
+}
+
+TEST(QuadraticObjectiveTest, GradientPointsAtTarget) {
+  const auto objective = make_quadratic_objective(8, 3, /*sigma=*/0.0, 21);
+  Tensor x(8);
+  Tensor grad(8);
+  // Noise-free gradient of worker w at x is x − b_w; at the per-worker
+  // minimum the mean-gradient over workers vanishes only at mean(b).
+  objective.gradient(0, 0, x.span(), grad.span());
+  EXPECT_TRUE(all_finite(grad.span()));
+  // Deterministic: same (worker, round, x) gives the same gradient.
+  Tensor grad2(8);
+  objective.gradient(0, 0, x.span(), grad2.span());
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_FLOAT_EQ(grad[i], grad2[i]);
+  }
+}
+
+TEST(QuadraticObjectiveTest, NoiseHasRequestedScale) {
+  const auto objective = make_quadratic_objective(4096, 2, /*sigma=*/0.5, 22);
+  Tensor x(4096);
+  Tensor noisy(4096), clean(4096);
+  objective.gradient(0, 0, x.span(), noisy.span());
+  const auto clean_objective = make_quadratic_objective(4096, 2, 0.0, 22);
+  clean_objective.gradient(0, 0, x.span(), clean.span());
+  Tensor diff(4096);
+  sub(noisy.span(), clean.span(), diff.span());
+  const double sd = l2_norm(diff.span()) / std::sqrt(4096.0);
+  EXPECT_NEAR(sd, 0.5, 0.05);
+}
+
+TEST(DistributedSgdTest, PsgdConvergesOnQuadratic) {
+  const std::size_t d = 32, m = 4;
+  const auto objective = make_quadratic_objective(d, m, 0.1, 23);
+  PsgdSync strategy(ring_config(m, 23));
+  Tensor x0(d);
+  fill(x0.span(), 5.0f);
+
+  DistributedSgdOptions options;
+  options.eta_l = 0.2f;
+  options.rounds = 150;
+  options.eval_interval = 50;
+  const auto trace = run_distributed_sgd(strategy, objective, x0, options);
+
+  ASSERT_FALSE(trace.diverged);
+  ASSERT_GE(trace.losses.size(), 2u);
+  const double first = trace.losses.front().second;
+  const double last = trace.losses.back().second;
+  EXPECT_LT(last, 0.1 * first);
+  EXPECT_GT(trace.simulated_seconds, 0.0);
+  EXPECT_GT(trace.total_wire_bits, 0.0);
+}
+
+TEST(DistributedSgdTest, MarsitConvergesOnQuadratic) {
+  const std::size_t d = 32, m = 4;
+  const auto objective = make_quadratic_objective(d, m, 0.1, 24);
+  MarsitOptions marsit_options;
+  marsit_options.eta_s = 0.02f;
+  // Stability note: a full-precision round flushes ~K·η_l-scaled
+  // compensation mass in one update, so K·η_l must stay well below 2.
+  marsit_options.full_precision_period = 25;
+  MarsitSync strategy(ring_config(m, 24), marsit_options);
+  Tensor x0(d);
+  fill(x0.span(), 5.0f);
+
+  DistributedSgdOptions options;
+  options.eta_l = 0.02f;
+  options.rounds = 600;
+  options.eval_interval = 100;
+  const auto trace = run_distributed_sgd(strategy, objective, x0, options);
+
+  ASSERT_FALSE(trace.diverged);
+  const double first = trace.losses.front().second;
+  const double last = trace.losses.back().second;
+  EXPECT_LT(last, 0.2 * first);
+}
+
+TEST(DistributedSgdTest, MarsitUsesFarFewerBitsThanPsgd) {
+  const std::size_t d = 1024, m = 4;
+  const auto objective = make_quadratic_objective(d, m, 0.1, 25);
+  Tensor x0(d);
+  fill(x0.span(), 1.0f);
+  DistributedSgdOptions options;
+  options.eta_l = 0.1f;
+  options.rounds = 20;
+  options.eval_interval = 0;
+
+  PsgdSync psgd(ring_config(m, 25));
+  const auto psgd_trace = run_distributed_sgd(psgd, objective, x0, options);
+
+  MarsitOptions marsit_options;
+  marsit_options.eta_s = 0.01f;
+  MarsitSync marsit(ring_config(m, 25), marsit_options);
+  const auto marsit_trace =
+      run_distributed_sgd(marsit, objective, x0, options);
+
+  EXPECT_LT(marsit_trace.total_wire_bits,
+            psgd_trace.total_wire_bits / 20.0);
+  EXPECT_LT(marsit_trace.simulated_seconds, psgd_trace.simulated_seconds);
+}
+
+TEST(DistributedSgdTest, LinearSpeedupShapeInWorkerCount) {
+  // Theorem 1: with η_l = √(M/T), more workers reach a lower loss in the
+  // same number of rounds on a noisy objective.  Use PSGD (the bound's
+  // leading term is the same) to keep the check sharp.
+  const std::size_t d = 64;
+  auto loss_with_workers = [&](std::size_t m) {
+    const auto objective = make_quadratic_objective(d, m, /*sigma=*/2.0, 26);
+    PsgdSync strategy(ring_config(m, 26));
+    Tensor x0(d);
+    fill(x0.span(), 3.0f);
+    DistributedSgdOptions options;
+    options.eta_l = 0.05f;
+    options.rounds = 200;
+    options.eval_interval = 0;
+    const auto trace = run_distributed_sgd(strategy, objective, x0, options);
+    // Squared norm of the mean worker gradient at the end; its stochastic
+    // floor is d·σ²/M plus the optimization residual — both shrink with M.
+    return trace.grad_norms_sq.back();
+  };
+  const double floor2 = loss_with_workers(2);
+  const double floor16 = loss_with_workers(16);
+  EXPECT_LT(floor16, 0.5 * floor2);
+}
+
+TEST(DistributedSgdTest, ValidatesArguments) {
+  const auto objective = make_quadratic_objective(8, 2, 0.0, 27);
+  PsgdSync strategy(ring_config(2, 27));
+  Tensor wrong_x0(9);
+  DistributedSgdOptions options;
+  EXPECT_THROW(run_distributed_sgd(strategy, objective, wrong_x0, options),
+               CheckError);
+  options.rounds = 0;
+  Tensor x0(8);
+  EXPECT_THROW(run_distributed_sgd(strategy, objective, x0, options),
+               CheckError);
+}
+
+TEST(DistributedSgdTest, FinalPointReturned) {
+  const auto objective = make_quadratic_objective(8, 2, 0.0, 28);
+  PsgdSync strategy(ring_config(2, 28));
+  Tensor x0(8);
+  DistributedSgdOptions options;
+  options.rounds = 5;
+  const auto trace = run_distributed_sgd(strategy, objective, x0, options);
+  EXPECT_EQ(trace.final_point.size(), 8u);
+  EXPECT_TRUE(all_finite(trace.final_point.span()));
+}
+
+}  // namespace
+}  // namespace marsit

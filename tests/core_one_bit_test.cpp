@@ -1,0 +1,221 @@
+// Property tests for the ⊙ operator — the heart of the paper.  The central
+// invariant (paper §4.1.1): after folding M workers' sign vectors, each bit
+// is 1 with probability exactly (#positive)/M.
+#include "core/one_bit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(OneBitCombineTest, AgreementKeepsBits) {
+  BitVector a(100);
+  for (std::size_t i = 0; i < 100; i += 3) {
+    a.set(i, true);
+  }
+  Rng rng(1);
+  // Combining identical vectors can never change a bit, whatever the
+  // weights.
+  for (std::size_t wa : {1u, 2u, 7u}) {
+    for (std::size_t wb : {1u, 3u}) {
+      EXPECT_EQ(one_bit_combine(a, wa, a, wb, rng), a);
+    }
+  }
+}
+
+TEST(OneBitCombineTest, RejectsBadArguments) {
+  BitVector a(10), b(11);
+  Rng rng(2);
+  EXPECT_THROW(one_bit_combine(a, 1, b, 1, rng), CheckError);
+  BitVector c(10);
+  EXPECT_THROW(one_bit_combine(a, 0, c, 1, rng), CheckError);
+  EXPECT_THROW(one_bit_combine(a, 1, c, 0, rng), CheckError);
+}
+
+TEST(OneBitCombineTest, DisagreementFollowsWeightRatio) {
+  // a = all ones (weight 2), b = all zeros (weight 3): every bit disagrees,
+  // so P(result bit = 1) must be 2/5 exactly.
+  const std::size_t d = 64 * 50;
+  BitVector a(d), b(d);
+  a.fill(true);
+  Rng rng(3);
+  std::size_t ones = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    ones += one_bit_combine(a, 2, b, 3, rng).popcount();
+  }
+  const std::size_t n = d * trials;
+  EXPECT_LT(std::fabs(binomial_z_score(ones, n, 0.4)), 5.0);
+}
+
+TEST(OneBitCombineTest, PaperEquation2SpecialCase) {
+  // Eq. 2 with local weight 1 at chain position m: incoming bit survives a
+  // disagreement with probability (m−1)/m.
+  const std::size_t d = 64 * 50;
+  const std::size_t m = 7;
+  BitVector incoming(d);  // all zeros: aggregate says −1
+  BitVector local(d);
+  local.fill(true);       // local says +1
+  Rng rng(4);
+  std::size_t ones = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    ones += one_bit_combine(incoming, m - 1, local, 1, rng).popcount();
+  }
+  // P(result = 1) = P(take local) = 1/m.
+  EXPECT_LT(std::fabs(binomial_z_score(ones, d * trials, 1.0 / m)), 5.0);
+}
+
+TEST(OneBitCombineTest, TailBitsStayZero) {
+  BitVector a(70), b(70);
+  a.fill(true);
+  b.fill(true);
+  Rng rng(5);
+  const BitVector result = one_bit_combine(a, 1, b, 1, rng);
+  EXPECT_EQ(result.words()[1] >> 6, 0u);  // bits beyond size() clear
+}
+
+TEST(OneBitFoldTest, SingleWorkerIsIdentity) {
+  BitVector a(50);
+  a.set(7, true);
+  Rng rng(6);
+  EXPECT_EQ(one_bit_fold({a}, rng), a);
+}
+
+TEST(OneBitFoldTest, RejectsEmptyInput) {
+  Rng rng(7);
+  EXPECT_THROW(one_bit_fold({}, rng), CheckError);
+}
+
+TEST(OneBitFoldTest, UnanimousWorkersAreDeterministic) {
+  const std::size_t d = 100;
+  BitVector pattern(d);
+  for (std::size_t i = 0; i < d; i += 2) {
+    pattern.set(i, true);
+  }
+  Rng rng(8);
+  const BitVector result = one_bit_fold({pattern, pattern, pattern}, rng);
+  EXPECT_EQ(result, pattern);
+}
+
+/// The core unbiasedness property, swept over worker counts: element j is
+/// constructed so exactly k_j of the M workers carry a 1; the folded bit
+/// must be 1 with probability k_j/M.
+class OneBitFoldUnbiasedness : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(OneBitFoldUnbiasedness, FoldedBitFrequencyMatchesPositiveFraction) {
+  const std::size_t m = GetParam();
+  // Element j (0..m): first j workers say 1, the rest say 0.  Replicate the
+  // pattern across 64 lanes for throughput.
+  const std::size_t reps = 64;
+  const std::size_t d = (m + 1) * reps;
+  std::vector<BitVector> signs(m, BitVector(d));
+  for (std::size_t w = 0; w < m; ++w) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      if (w < j) {
+        for (std::size_t r = 0; r < reps; ++r) {
+          signs[w].set(j * reps + r, true);
+        }
+      }
+    }
+  }
+
+  Rng rng(100 + m);
+  const int trials = 400;
+  std::vector<std::size_t> ones(m + 1, 0);
+  for (int t = 0; t < trials; ++t) {
+    const BitVector folded = one_bit_fold(signs, rng);
+    for (std::size_t j = 0; j <= m; ++j) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        ones[j] += folded.get(j * reps + r);
+      }
+    }
+  }
+
+  const std::size_t n = reps * trials;
+  for (std::size_t j = 0; j <= m; ++j) {
+    const double p = static_cast<double>(j) / static_cast<double>(m);
+    if (j == 0) {
+      EXPECT_EQ(ones[j], 0u) << "all-negative element emitted a 1";
+    } else if (j == m) {
+      EXPECT_EQ(ones[j], n) << "all-positive element emitted a 0";
+    } else {
+      EXPECT_LT(std::fabs(binomial_z_score(ones[j], n, p)), 5.0)
+          << "M=" << m << " k=" << j << " freq="
+          << static_cast<double>(ones[j]) / static_cast<double>(n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, OneBitFoldUnbiasedness,
+                         ::testing::Values(2, 3, 4, 5, 8, 16));
+
+TEST(OneBitFoldTest, TorusStyleWeightedMergeIsAlsoUnbiased) {
+  // 2×2 torus: fold rows, then merge row aggregates with weights (2, 2).
+  // Element j has k_j = j of the 4 workers positive; the merged bit must be
+  // 1 with probability j/4.
+  const std::size_t reps = 64;
+  const std::size_t d = 5 * reps;
+  std::vector<BitVector> signs(4, BitVector(d));
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (std::size_t j = 0; j <= 4; ++j) {
+      if (w < j) {
+        for (std::size_t r = 0; r < reps; ++r) {
+          signs[w].set(j * reps + r, true);
+        }
+      }
+    }
+  }
+
+  Rng rng(200);
+  const int trials = 500;
+  std::vector<std::size_t> ones(5, 0);
+  for (int t = 0; t < trials; ++t) {
+    BitVector row0 = one_bit_combine(signs[0], 1, signs[1], 1, rng);
+    BitVector row1 = one_bit_combine(signs[2], 1, signs[3], 1, rng);
+    const BitVector merged = one_bit_combine(row0, 2, row1, 2, rng);
+    for (std::size_t j = 0; j <= 4; ++j) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        ones[j] += merged.get(j * reps + r);
+      }
+    }
+  }
+  const std::size_t n = reps * trials;
+  EXPECT_EQ(ones[0], 0u);
+  EXPECT_EQ(ones[4], n);
+  for (std::size_t j = 1; j <= 3; ++j) {
+    EXPECT_LT(std::fabs(binomial_z_score(ones[j], n, j / 4.0)), 5.0)
+        << "k=" << j;
+  }
+}
+
+TEST(OneBitFoldTest, ExpectedSignEqualsMeanSign) {
+  // Mapping bits to ±1, E[folded] = mean of worker signs — the property the
+  // global update g_t relies on.  Check one element with 3/5 positive.
+  const std::size_t d = 64 * 20;
+  std::vector<BitVector> signs(5, BitVector(d));
+  signs[0].fill(true);
+  signs[1].fill(true);
+  signs[2].fill(true);
+  Rng rng(300);
+  double total = 0.0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    const BitVector folded = one_bit_fold(signs, rng);
+    total += 2.0 * static_cast<double>(folded.popcount()) -
+             static_cast<double>(d);
+  }
+  const double mean_sign = total / (trials * static_cast<double>(d));
+  // True mean sign = (3 − 2)/5 = 0.2; sd per element ≈ 0.98.
+  EXPECT_NEAR(mean_sign, 0.2, 5.0 * 0.98 / std::sqrt(trials * d / 4.0));
+}
+
+}  // namespace
+}  // namespace marsit

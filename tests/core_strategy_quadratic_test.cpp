@@ -1,0 +1,121 @@
+// Every synchronization strategy must actually optimize: run each one on
+// the noisy quadratic benchmark and require a large loss reduction.  This
+// is the cheapest end-to-end regression net over the whole strategy family.
+#include <gtest/gtest.h>
+
+#include "core/distributed_sgd.hpp"
+#include "tensor/ops.hpp"
+
+namespace marsit {
+namespace {
+
+SyncConfig ring_config(std::size_t workers) {
+  SyncConfig config;
+  config.num_workers = workers;
+  config.paradigm = MarParadigm::kRing;
+  config.seed = 61;
+  return config;
+}
+
+struct QuadraticCase {
+  SyncMethod method;
+  float eta_l;
+  float eta_s;
+  std::size_t rounds;
+  double required_reduction;  // final loss < reduction · initial loss
+};
+
+class StrategyQuadraticTest : public ::testing::TestWithParam<QuadraticCase> {
+};
+
+TEST_P(StrategyQuadraticTest, ReducesLossSubstantially) {
+  const QuadraticCase param = GetParam();
+  const std::size_t d = 64, m = 4;
+  const auto objective = make_quadratic_objective(d, m, /*sigma=*/0.05, 62);
+
+  MethodOptions options;
+  options.eta_s = param.eta_s;
+  auto strategy = make_sync_strategy(param.method, ring_config(m), options);
+
+  Tensor x0(d);
+  fill(x0.span(), 4.0f);
+  DistributedSgdOptions run;
+  run.eta_l = param.eta_l;
+  run.rounds = param.rounds;
+  run.eval_interval = 0;
+  const auto trace = run_distributed_sgd(*strategy, objective, x0, run);
+
+  ASSERT_FALSE(trace.diverged) << strategy->name();
+  const double initial = trace.losses.front().second;
+  const double final_loss = trace.losses.back().second;
+  EXPECT_LT(final_loss, param.required_reduction * initial)
+      << strategy->name() << ": " << initial << " -> " << final_loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, StrategyQuadraticTest,
+    ::testing::Values(
+        // PSGD: contraction to near the noise floor.
+        QuadraticCase{SyncMethod::kPsgd, 0.2f, 0.0f, 120, 0.1},
+        // signSGD: η_s-paced sign descent.
+        QuadraticCase{SyncMethod::kSignSgdMv, 0.2f, 0.05f, 250, 0.25},
+        // EF-signSGD: error feedback recovers magnitudes.
+        QuadraticCase{SyncMethod::kEfSignSgd, 0.2f, 0.0f, 250, 0.15},
+        // SSDM (block-wise stochastic signs): the per-element probability
+        // shift is O(1/sqrt(block)), so it is by far the noisiest sign
+        // method — require a looser but still substantial reduction.
+        QuadraticCase{SyncMethod::kSsdm, 0.2f, 0.02f, 500, 0.5},
+        // Marsit, no full precision.
+        QuadraticCase{SyncMethod::kMarsit, 0.1f, 0.05f, 400, 0.25}),
+    [](const ::testing::TestParamInfo<QuadraticCase>& info) {
+      // gtest parameter names must be alphanumeric.
+      std::string name = sync_method_name(info.param.method);
+      std::erase_if(name, [](char c) { return !std::isalnum(
+                                           static_cast<unsigned char>(c)); });
+      return name;
+    });
+
+TEST(StrategyQuadraticTest, TreeFabricOptimizesToo) {
+  const std::size_t d = 64, m = 8;
+  const auto objective = make_quadratic_objective(d, m, 0.05, 63);
+  SyncConfig config = ring_config(m);
+  config.paradigm = MarParadigm::kTree;
+  MethodOptions options;
+  options.eta_s = 0.05f;
+  auto strategy = make_sync_strategy(SyncMethod::kMarsit, config, options);
+
+  Tensor x0(d);
+  fill(x0.span(), 4.0f);
+  DistributedSgdOptions run;
+  run.eta_l = 0.1f;
+  run.rounds = 400;
+  run.eval_interval = 0;
+  const auto trace = run_distributed_sgd(*strategy, objective, x0, run);
+  ASSERT_FALSE(trace.diverged);
+  EXPECT_LT(trace.losses.back().second, 0.3 * trace.losses.front().second);
+}
+
+TEST(StrategyQuadraticTest, TorusFabricOptimizesToo) {
+  const std::size_t d = 64, m = 4;
+  const auto objective = make_quadratic_objective(d, m, 0.05, 64);
+  SyncConfig config = ring_config(m);
+  config.paradigm = MarParadigm::kTorus2d;
+  config.torus_rows = 2;
+  config.torus_cols = 2;
+  MethodOptions options;
+  options.eta_s = 0.05f;
+  auto strategy = make_sync_strategy(SyncMethod::kMarsit, config, options);
+
+  Tensor x0(d);
+  fill(x0.span(), 4.0f);
+  DistributedSgdOptions run;
+  run.eta_l = 0.1f;
+  run.rounds = 400;
+  run.eval_interval = 0;
+  const auto trace = run_distributed_sgd(*strategy, objective, x0, run);
+  ASSERT_FALSE(trace.diverged);
+  EXPECT_LT(trace.losses.back().second, 0.3 * trace.losses.front().second);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "data/synthetic_images.hpp"
+#include "data/synthetic_sentiment.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace marsit {
+namespace {
+
+template <typename DatasetT>
+void expect_deterministic(const DatasetT& dataset) {
+  std::vector<float> a(dataset.sample_size()), b(dataset.sample_size());
+  const std::size_t label_a = dataset.fill_sample(12345, {a.data(), a.size()});
+  const std::size_t label_b = dataset.fill_sample(12345, {b.data(), b.size()});
+  EXPECT_EQ(label_a, label_b);
+  EXPECT_EQ(a, b);
+}
+
+template <typename DatasetT>
+void expect_label_balance(const DatasetT& dataset, std::size_t samples) {
+  std::map<std::size_t, std::size_t> counts;
+  std::vector<float> buffer(dataset.sample_size());
+  for (std::size_t i = 0; i < samples; ++i) {
+    ++counts[dataset.fill_sample(i, {buffer.data(), buffer.size()})];
+  }
+  const double expected =
+      static_cast<double>(samples) / dataset.num_classes();
+  for (const auto& [label, count] : counts) {
+    EXPECT_LT(label, dataset.num_classes());
+    EXPECT_NEAR(static_cast<double>(count), expected,
+                5.0 * std::sqrt(expected))
+        << "label " << label;
+  }
+  EXPECT_EQ(counts.size(), dataset.num_classes());
+}
+
+TEST(SyntheticDigitsTest, DeterministicAndBalanced) {
+  SyntheticDigits digits;
+  expect_deterministic(digits);
+  expect_label_balance(digits, 20000);
+}
+
+TEST(SyntheticDigitsTest, GeometryAndRange) {
+  SyntheticDigits digits;
+  EXPECT_EQ(digits.sample_size(), 14u * 14u);
+  EXPECT_EQ(digits.num_classes(), 10u);
+  EXPECT_EQ(digits.image_dims().channels, 1u);
+  std::vector<float> sample(digits.sample_size());
+  digits.fill_sample(0, {sample.data(), sample.size()});
+  EXPECT_TRUE(all_finite({sample.data(), sample.size()}));
+  // Lit glyph pixels exist.
+  EXPECT_GT(max_abs({sample.data(), sample.size()}), 0.3f);
+}
+
+TEST(SyntheticDigitsTest, ClassesAreSeparableByNearestPrototype) {
+  // Build per-class mean images from one index range and classify samples
+  // from a disjoint range by nearest prototype: accuracy must be far above
+  // chance (the dataset is learnable).
+  SyntheticDigits digits;
+  const std::size_t d = digits.sample_size();
+  std::vector<std::vector<double>> prototypes(10,
+                                              std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(10, 0);
+  std::vector<float> buffer(d);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const std::size_t label = digits.fill_sample(i, {buffer.data(), d});
+    for (std::size_t j = 0; j < d; ++j) {
+      prototypes[label][j] += buffer[j];
+    }
+    ++counts[label];
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    ASSERT_GT(counts[c], 0u);
+    for (auto& v : prototypes[c]) {
+      v /= static_cast<double>(counts[c]);
+    }
+  }
+  std::size_t correct = 0;
+  const std::size_t test_samples = 1000;
+  for (std::size_t i = 0; i < test_samples; ++i) {
+    const std::size_t label =
+        digits.fill_sample(100000 + i, {buffer.data(), d});
+    double best = 1e300;
+    std::size_t best_class = 0;
+    for (std::size_t c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = buffer[j] - prototypes[c][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = c;
+      }
+    }
+    correct += best_class == label;
+  }
+  // Nearest-prototype is translation-sensitive, so it underuses the data; a
+  // conv net does far better (see sim_trainer_test).  Chance level is 0.1.
+  EXPECT_GT(static_cast<double>(correct) / test_samples, 0.5);
+}
+
+TEST(SyntheticImagesTest, DeterministicAndBalanced) {
+  SyntheticImages images;
+  expect_deterministic(images);
+  expect_label_balance(images, 20000);
+}
+
+TEST(SyntheticImagesTest, GeometryMatchesConfig) {
+  SyntheticImagesConfig config;
+  config.num_classes = 7;
+  config.channels = 2;
+  config.height = 10;
+  config.width = 12;
+  SyntheticImages images(config);
+  EXPECT_EQ(images.sample_size(), 2u * 10u * 12u);
+  EXPECT_EQ(images.num_classes(), 7u);
+  EXPECT_EQ(images.image_dims().height, 10u);
+}
+
+TEST(SyntheticImagesTest, ImagenetLikeConfigIsBigger) {
+  const auto config = SyntheticImagesConfig::imagenet_like();
+  EXPECT_GT(config.num_classes, 10u);
+  EXPECT_GT(config.height, 16u);
+  SyntheticImages images(config);
+  expect_deterministic(images);
+}
+
+TEST(SyntheticImagesTest, DistinctClassesHaveDistinctTextures) {
+  // Noise-free samples of different classes must differ much more than two
+  // noise-free samples of the same class at different translations differ
+  // from the class mean... keep it simple: cross-class distance > 0.
+  SyntheticImagesConfig config;
+  config.noise_stddev = 0.0f;
+  config.max_translation = 0.0f;
+  config.amplitude_jitter = 0.0f;
+  SyntheticImages images(config);
+  std::vector<float> a(images.sample_size()), b(images.sample_size());
+  // Find two indices with different labels.
+  std::size_t la = images.fill_sample(0, {a.data(), a.size()});
+  std::size_t i = 1;
+  std::size_t lb = la;
+  while (lb == la) {
+    lb = images.fill_sample(i++, {b.data(), b.size()});
+  }
+  Tensor diff(images.sample_size());
+  sub({a.data(), a.size()}, {b.data(), b.size()}, diff.span());
+  EXPECT_GT(l2_norm(diff.span()), 1.0f);
+}
+
+TEST(SyntheticImagesTest, RejectsDegenerateConfig) {
+  SyntheticImagesConfig config;
+  config.num_classes = 1;
+  EXPECT_THROW(SyntheticImages{config}, CheckError);
+}
+
+TEST(SyntheticSentimentTest, DeterministicAndBalanced) {
+  SyntheticSentiment sentiment;
+  expect_deterministic(sentiment);
+  expect_label_balance(sentiment, 20000);
+}
+
+TEST(SyntheticSentimentTest, TokensStayInVocab) {
+  SyntheticSentiment sentiment;
+  std::vector<float> tokens(sentiment.sample_size());
+  for (std::size_t i = 0; i < 200; ++i) {
+    sentiment.fill_sample(i, {tokens.data(), tokens.size()});
+    for (float t : tokens) {
+      ASSERT_GE(t, 0.0f);
+      ASSERT_LT(t, static_cast<float>(sentiment.vocab_size()));
+      ASSERT_EQ(t, std::floor(t));  // integral ids
+    }
+  }
+}
+
+TEST(SyntheticSentimentTest, SentimentLexiconsCorrelateWithLabels) {
+  SyntheticSentimentConfig config;
+  SyntheticSentiment sentiment(config);
+  std::vector<float> tokens(sentiment.sample_size());
+  std::size_t pos_hits_in_pos = 0, pos_hits_in_neg = 0;
+  std::size_t pos_docs = 0, neg_docs = 0;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const std::size_t label =
+        sentiment.fill_sample(i, {tokens.data(), tokens.size()});
+    std::size_t positive_tokens = 0;
+    for (float t : tokens) {
+      if (t < static_cast<float>(config.lexicon)) {
+        ++positive_tokens;
+      }
+    }
+    if (label == 1) {
+      pos_hits_in_pos += positive_tokens;
+      ++pos_docs;
+    } else {
+      pos_hits_in_neg += positive_tokens;
+      ++neg_docs;
+    }
+  }
+  const double rate_pos =
+      static_cast<double>(pos_hits_in_pos) / (pos_docs * config.seq_len);
+  const double rate_neg =
+      static_cast<double>(pos_hits_in_neg) / (neg_docs * config.seq_len);
+  EXPECT_GT(rate_pos, 2.0 * rate_neg);
+}
+
+TEST(SyntheticSentimentTest, RejectsDegenerateConfig) {
+  SyntheticSentimentConfig config;
+  config.vocab_size = 100;
+  config.lexicon = 60;  // 2·60 > 100
+  EXPECT_THROW(SyntheticSentiment{config}, CheckError);
+}
+
+TEST(ShardedSamplerTest, DeterministicPerWorkerAndRound) {
+  SyntheticDigits digits;
+  ShardedSampler sampler(digits, 4, 8, 10000, 1000, 99);
+  Batch a, b;
+  sampler.worker_batch(2, 5, a);
+  sampler.worker_batch(2, 5, b);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.inputs.span()[0], b.inputs.span()[0]);
+
+  Batch c;
+  sampler.worker_batch(3, 5, c);
+  EXPECT_NE(a.labels, c.labels);  // different worker, different draw
+}
+
+TEST(ShardedSamplerTest, BatchGeometry) {
+  SyntheticDigits digits;
+  ShardedSampler sampler(digits, 2, 16, 10000, 1000, 100);
+  Batch batch;
+  sampler.worker_batch(0, 0, batch);
+  EXPECT_EQ(batch.size(), 16u);
+  EXPECT_EQ(batch.inputs.size(), 16u * digits.sample_size());
+}
+
+TEST(ShardedSamplerTest, TestBatchComesFromHeldOutRange) {
+  // Train draws must never collide with test indices: verify by checking a
+  // test sample differs from every possible train index's sample... cheaper
+  // proxy: the sampler's test indices start past the train range, so the
+  // same block always reproduces identically.
+  SyntheticDigits digits;
+  ShardedSampler sampler(digits, 2, 4, 1000, 100, 101);
+  Batch a, b;
+  sampler.test_batch(32, 0, a);
+  sampler.test_batch(32, 0, b);
+  EXPECT_EQ(a.labels, b.labels);
+  Batch c;
+  sampler.test_batch(32, 1, c);
+  EXPECT_NE(a.labels, c.labels);
+}
+
+TEST(ShardedSamplerTest, ValidatesArguments) {
+  SyntheticDigits digits;
+  EXPECT_THROW(ShardedSampler(digits, 0, 8, 100, 10, 1), CheckError);
+  EXPECT_THROW(ShardedSampler(digits, 2, 0, 100, 10, 1), CheckError);
+  EXPECT_THROW(ShardedSampler(digits, 2, 200, 100, 10, 1), CheckError);
+  ShardedSampler sampler(digits, 2, 8, 100, 10, 1);
+  Batch batch;
+  EXPECT_THROW(sampler.worker_batch(2, 0, batch), CheckError);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,113 @@
+#include "net/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marsit {
+namespace {
+
+CostModel simple_model() {
+  CostModel model;
+  model.link_alpha = 1.0;          // 1 s latency
+  model.link_bandwidth = 100.0;    // 100 B/s
+  model.server_bandwidth = 100.0;
+  return model;
+}
+
+TEST(NetworkSimTest, AlphaBetaTransferTime) {
+  NetworkSim net(2, simple_model());
+  // 200 bytes at 100 B/s + 1 s latency = 3 s.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 200.0, 0.0), 3.0);
+}
+
+TEST(NetworkSimTest, TransferBitsConvertsToBytes) {
+  NetworkSim net(2, simple_model());
+  EXPECT_DOUBLE_EQ(net.transfer_bits(0, 1, 800.0, 0.0), 2.0);
+}
+
+TEST(NetworkSimTest, ReadyTimeDelaysStart) {
+  NetworkSim net(2, simple_model());
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 10.0), 12.0);
+}
+
+TEST(NetworkSimTest, EgressSerializesBackToBackSends) {
+  NetworkSim net(3, simple_model());
+  const double first = net.transfer(0, 1, 100.0, 0.0);   // 0 → 2
+  const double second = net.transfer(0, 2, 100.0, 0.0);  // must wait
+  EXPECT_DOUBLE_EQ(first, 2.0);
+  EXPECT_DOUBLE_EQ(second, 4.0);
+}
+
+TEST(NetworkSimTest, IngressSerializesConcurrentReceives) {
+  NetworkSim net(3, simple_model());
+  const double first = net.transfer(0, 2, 100.0, 0.0);
+  const double second = net.transfer(1, 2, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(first, 2.0);
+  EXPECT_DOUBLE_EQ(second, 4.0);
+}
+
+TEST(NetworkSimTest, DisjointPairsRunInParallel) {
+  NetworkSim net(4, simple_model());
+  const double a = net.transfer(0, 1, 100.0, 0.0);
+  const double b = net.transfer(2, 3, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(a, 2.0);
+  EXPECT_DOUBLE_EQ(b, 2.0);  // different NICs: no serialization
+}
+
+TEST(NetworkSimTest, PsIngestCongestionScalesWithSenders) {
+  // M workers pushing to one server: completion grows linearly in M — the
+  // congestion Figure 1a attributes to PS.
+  for (std::size_t m : {2u, 4u, 8u}) {
+    NetworkSim net(m + 1, simple_model());
+    double last = 0.0;
+    for (std::size_t w = 0; w < m; ++w) {
+      last = std::max(last, net.transfer(w, m, 100.0, 0.0, true));
+    }
+    EXPECT_DOUBLE_EQ(last, 2.0 * static_cast<double>(m));
+  }
+}
+
+TEST(NetworkSimTest, ServerBandwidthUsedForServerEndpoint) {
+  CostModel model = simple_model();
+  model.server_bandwidth = 200.0;  // faster server NIC
+  NetworkSim net(2, model);
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 200.0, 0.0, true), 2.0);
+  net.reset();
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 200.0, 0.0, false), 3.0);
+}
+
+TEST(NetworkSimTest, StatisticsAccumulate) {
+  NetworkSim net(2, simple_model());
+  net.transfer(0, 1, 100.0, 0.0);
+  net.transfer(1, 0, 50.0, 0.0);
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 150.0);
+  EXPECT_EQ(net.total_messages(), 2u);
+}
+
+TEST(NetworkSimTest, ResetClearsState) {
+  NetworkSim net(2, simple_model());
+  net.transfer(0, 1, 100.0, 0.0);
+  net.reset();
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 0.0);
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(net.egress_free(0), 0.0);
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 0.0), 2.0);
+}
+
+TEST(NetworkSimTest, InvalidArgumentsThrow) {
+  NetworkSim net(2, simple_model());
+  EXPECT_THROW(net.transfer(0, 0, 10.0, 0.0), CheckError);   // self-send
+  EXPECT_THROW(net.transfer(0, 5, 10.0, 0.0), CheckError);   // out of range
+  EXPECT_THROW(net.transfer(0, 1, -1.0, 0.0), CheckError);   // negative size
+  EXPECT_THROW(NetworkSim(1, simple_model()), CheckError);   // too small
+}
+
+TEST(NetworkSimTest, NicFreeTimesVisible) {
+  NetworkSim net(2, simple_model());
+  net.transfer(0, 1, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(net.egress_free(0), 2.0);
+  EXPECT_DOUBLE_EQ(net.ingress_free(1), 2.0);
+  EXPECT_DOUBLE_EQ(net.ingress_free(0), 0.0);
+}
+
+}  // namespace
+}  // namespace marsit

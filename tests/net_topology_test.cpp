@@ -1,0 +1,89 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace marsit {
+namespace {
+
+TEST(RingTopologyTest, NeighborsWrapAround) {
+  const Topology ring = Topology::ring(4);
+  EXPECT_EQ(ring.kind(), TopologyKind::kRing);
+  EXPECT_EQ(ring.num_nodes(), 4u);
+  EXPECT_EQ(ring.num_workers(), 4u);
+  EXPECT_EQ(ring.ring_next(0), 1u);
+  EXPECT_EQ(ring.ring_next(3), 0u);
+  EXPECT_EQ(ring.ring_prev(0), 3u);
+  EXPECT_EQ(ring.ring_prev(2), 1u);
+}
+
+TEST(RingTopologyTest, RejectsTooFewNodes) {
+  EXPECT_THROW(Topology::ring(1), CheckError);
+}
+
+TEST(RingTopologyTest, NonRingAccessorsThrow) {
+  const Topology ring = Topology::ring(3);
+  EXPECT_THROW(ring.torus_rows(), CheckError);
+  EXPECT_THROW(ring.star_server(), CheckError);
+  EXPECT_THROW(ring.ring_next(3), CheckError);
+}
+
+TEST(TorusTopologyTest, CoordinateMapping) {
+  const Topology torus = Topology::torus2d(3, 4);
+  EXPECT_EQ(torus.num_nodes(), 12u);
+  EXPECT_EQ(torus.torus_rows(), 3u);
+  EXPECT_EQ(torus.torus_cols(), 4u);
+  EXPECT_EQ(torus.torus_node(1, 2), 6u);
+  EXPECT_EQ(torus.torus_row_of(6), 1u);
+  EXPECT_EQ(torus.torus_col_of(6), 2u);
+}
+
+TEST(TorusTopologyTest, RowAndColumnRingsWrap) {
+  const Topology torus = Topology::torus2d(2, 3);
+  // Row ring of node (0,2) wraps to (0,0).
+  EXPECT_EQ(torus.torus_row_next(2), 0u);
+  EXPECT_EQ(torus.torus_row_next(0), 1u);
+  // Column ring of node (1,1) wraps to (0,1).
+  EXPECT_EQ(torus.torus_col_next(4), 1u);
+  EXPECT_EQ(torus.torus_col_next(1), 4u);
+}
+
+TEST(TorusTopologyTest, EveryNodeVisitsWholeRowRing) {
+  const Topology torus = Topology::torus2d(3, 5);
+  std::size_t node = torus.torus_node(2, 0);
+  for (std::size_t step = 0; step < 5; ++step) {
+    EXPECT_EQ(torus.torus_row_of(node), 2u);
+    node = torus.torus_row_next(node);
+  }
+  EXPECT_EQ(node, torus.torus_node(2, 0));
+}
+
+TEST(TorusTopologyTest, RejectsDegenerateShape) {
+  EXPECT_THROW(Topology::torus2d(1, 4), CheckError);
+  EXPECT_THROW(Topology::torus2d(4, 1), CheckError);
+}
+
+TEST(StarTopologyTest, ServerIsLastNode) {
+  const Topology star = Topology::star(5);
+  EXPECT_EQ(star.num_nodes(), 6u);
+  EXPECT_EQ(star.num_workers(), 5u);
+  EXPECT_EQ(star.star_server(), 5u);
+}
+
+TEST(StarTopologyTest, RejectsZeroWorkers) {
+  EXPECT_THROW(Topology::star(0), CheckError);
+}
+
+TEST(TopologyTest, DebugStrings) {
+  EXPECT_EQ(Topology::ring(4).debug_string(), "ring(4 workers)");
+  EXPECT_EQ(Topology::torus2d(2, 3).debug_string(), "torus2d(2x3)");
+  EXPECT_EQ(Topology::star(8).debug_string(), "star(8 workers)");
+}
+
+TEST(TopologyTest, KindNames) {
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kRing), "ring");
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kTorus2d), "torus2d");
+  EXPECT_STREQ(topology_kind_name(TopologyKind::kStar), "star");
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,106 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(SgdOptimizerTest, IdentityTransform) {
+  SgdOptimizer opt;
+  std::vector<float> grad{1.0f, -2.0f, 3.0f};
+  std::vector<float> direction(3);
+  opt.transform({grad.data(), 3}, {direction.data(), 3});
+  EXPECT_EQ(direction, grad);
+}
+
+TEST(MomentumOptimizerTest, VelocityRecursion) {
+  MomentumOptimizer opt(0.5f);
+  std::vector<float> grad{1.0f};
+  std::vector<float> direction(1);
+  opt.transform({grad.data(), 1}, {direction.data(), 1});
+  EXPECT_FLOAT_EQ(direction[0], 1.0f);  // v1 = 0.5·0 + 1
+  opt.transform({grad.data(), 1}, {direction.data(), 1});
+  EXPECT_FLOAT_EQ(direction[0], 1.5f);  // v2 = 0.5·1 + 1
+  opt.transform({grad.data(), 1}, {direction.data(), 1});
+  EXPECT_FLOAT_EQ(direction[0], 1.75f);
+}
+
+TEST(MomentumOptimizerTest, RejectsBadMu) {
+  EXPECT_THROW(MomentumOptimizer(1.0f), CheckError);
+  EXPECT_THROW(MomentumOptimizer(-0.1f), CheckError);
+}
+
+TEST(AdamOptimizerTest, FirstStepIsSignLikeUnitStep) {
+  // With bias correction, step 1 gives m̂ = g, v̂ = g², so direction =
+  // g/(|g|+ε) ≈ sign(g).
+  AdamOptimizer opt;
+  std::vector<float> grad{0.3f, -0.7f};
+  std::vector<float> direction(2);
+  opt.transform({grad.data(), 2}, {direction.data(), 2});
+  EXPECT_NEAR(direction[0], 1.0f, 1e-4f);
+  EXPECT_NEAR(direction[1], -1.0f, 1e-4f);
+}
+
+TEST(AdamOptimizerTest, MatchesReferenceImplementation) {
+  const float b1 = 0.9f, b2 = 0.999f, eps = 1e-8f;
+  AdamOptimizer opt(b1, b2, eps);
+  std::vector<float> direction(1);
+
+  double m = 0.0, v = 0.0;
+  const std::vector<float> grads{0.5f, -0.25f, 1.0f, 0.0f, 2.0f};
+  for (std::size_t step = 1; step <= grads.size(); ++step) {
+    const double g = grads[step - 1];
+    m = b1 * m + (1.0 - b1) * g;
+    v = b2 * v + (1.0 - b2) * g * g;
+    const double m_hat = m / (1.0 - std::pow(b1, step));
+    const double v_hat = v / (1.0 - std::pow(b2, step));
+    const double expected = m_hat / (std::sqrt(v_hat) + eps);
+
+    std::vector<float> grad{grads[step - 1]};
+    opt.transform({grad.data(), 1}, {direction.data(), 1});
+    EXPECT_NEAR(direction[0], expected, 1e-4) << "step " << step;
+  }
+}
+
+TEST(AdamOptimizerTest, RejectsBadHyperparameters) {
+  EXPECT_THROW(AdamOptimizer(1.0f, 0.999f, 1e-8f), CheckError);
+  EXPECT_THROW(AdamOptimizer(0.9f, 1.0f, 1e-8f), CheckError);
+  EXPECT_THROW(AdamOptimizer(0.9f, 0.999f, 0.0f), CheckError);
+}
+
+TEST(CloneFreshTest, ClonesStartStateless) {
+  MomentumOptimizer opt(0.9f);
+  std::vector<float> grad{1.0f};
+  std::vector<float> direction(1);
+  opt.transform({grad.data(), 1}, {direction.data(), 1});
+  opt.transform({grad.data(), 1}, {direction.data(), 1});
+
+  auto fresh = opt.clone_fresh();
+  fresh->transform({grad.data(), 1}, {direction.data(), 1});
+  EXPECT_FLOAT_EQ(direction[0], 1.0f);  // no inherited velocity
+}
+
+TEST(FactoryTest, BuildsEachKind) {
+  EXPECT_EQ(make_optimizer(OptimizerKind::kSgd)->name(), "SGD");
+  EXPECT_EQ(make_optimizer(OptimizerKind::kMomentum)->name(), "Momentum");
+  EXPECT_EQ(make_optimizer(OptimizerKind::kAdam)->name(), "Adam");
+}
+
+TEST(OptimizerTest, StateResizesWithDimension) {
+  // Dimension change mid-stream (new model) must not crash; state resets.
+  MomentumOptimizer opt(0.9f);
+  std::vector<float> g1{1.0f}, d1(1);
+  opt.transform({g1.data(), 1}, {d1.data(), 1});
+  std::vector<float> g2{1.0f, 2.0f}, d2(2);
+  opt.transform({g2.data(), 2}, {d2.data(), 2});
+  EXPECT_FLOAT_EQ(d2[0], 1.0f);
+  EXPECT_FLOAT_EQ(d2[1], 2.0f);
+}
+
+}  // namespace
+}  // namespace marsit

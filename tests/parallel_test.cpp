@@ -1,0 +1,96 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, PendingTasksFinishBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), CheckError);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(101);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&called](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleItemRunsInline) {
+  ThreadPool pool(2);
+  int value = 0;
+  parallel_for(pool, 1, [&value](std::size_t i) { value = static_cast<int>(i) + 7; });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ParallelForTest, MoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  parallel_for(pool, 1000, [&total](std::size_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 1000u * 999u / 2u);
+}
+
+TEST(ParallelForTest, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int pass = 0; pass < 10; ++pass) {
+    std::atomic<int> count{0};
+    parallel_for(pool, 37, [&count](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 37);
+  }
+}
+
+TEST(GlobalThreadPoolTest, IsSingleton) {
+  EXPECT_EQ(&global_thread_pool(), &global_thread_pool());
+  EXPECT_GE(global_thread_pool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace marsit

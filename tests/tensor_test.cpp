@@ -1,0 +1,248 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorTest, SizeConstructorZeroFills) {
+  Tensor t(5);
+  EXPECT_EQ(t.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, ShapeConstructor) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_THROW(t.dim(3), CheckError);
+}
+
+TEST(TensorTest, InitializerList) {
+  Tensor t{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, BoundsCheckedAccess) {
+  Tensor t(3);
+  t.at(2) = 5.0f;
+  EXPECT_EQ(t.at(2), 5.0f);
+  EXPECT_THROW(t.at(3), CheckError);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t{1, 2, 3, 4, 5, 6};
+  t.reshape({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t[5], 6.0f);
+  EXPECT_THROW(t.reshape({7}), CheckError);
+}
+
+TEST(TensorTest, FromVectorMovesData) {
+  Tensor t = Tensor::from_vector({9.0f, 8.0f});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 9.0f);
+}
+
+TEST(TensorTest, DebugString) {
+  Tensor t = Tensor::zeros({2, 2});
+  EXPECT_EQ(t.debug_string(), "shape=[2,2] size=4");
+}
+
+TEST(TensorTest, BracedIntegerListIsValuesNotShape) {
+  // Documented hazard: a braced integer list selects the float-values
+  // constructor; Tensor::zeros is the shape-based path.
+  Tensor values{2, 3, 4};
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], 2.0f);
+}
+
+TEST(OpsTest, AxpyAndScale) {
+  Tensor x{1, 2, 3};
+  Tensor y{10, 20, 30};
+  axpy(2.0f, x.span(), y.span());
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[2], 36.0f);
+  scale(y.span(), 0.5f);
+  EXPECT_EQ(y[0], 6.0f);
+}
+
+TEST(OpsTest, AddSubHadamardSupportAliasing) {
+  Tensor a{1, 2, 3};
+  Tensor b{4, 5, 6};
+  add(a.span(), b.span(), a.span());
+  EXPECT_EQ(a[2], 9.0f);
+  sub(a.span(), b.span(), a.span());
+  EXPECT_EQ(a[2], 3.0f);
+  hadamard(a.span(), b.span(), a.span());
+  EXPECT_EQ(a[2], 18.0f);
+}
+
+TEST(OpsTest, ExtentMismatchThrows) {
+  Tensor a(3), b(4);
+  EXPECT_THROW(add(a.span(), b.span(), a.span()), CheckError);
+  EXPECT_THROW(dot(a.span(), b.span()), CheckError);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor x{3, -4, 0};
+  EXPECT_FLOAT_EQ(dot(x.span(), x.span()), 25.0f);
+  EXPECT_FLOAT_EQ(l1_norm(x.span()), 7.0f);
+  EXPECT_FLOAT_EQ(l2_norm(x.span()), 5.0f);
+  EXPECT_FLOAT_EQ(squared_l2_norm(x.span()), 25.0f);
+  EXPECT_FLOAT_EQ(sum(x.span()), -1.0f);
+  EXPECT_FLOAT_EQ(mean(x.span()), -1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(max_abs(x.span()), 4.0f);
+  EXPECT_EQ(argmax(x.span()), 0u);
+}
+
+TEST(OpsTest, ArgmaxFirstOnTies) {
+  Tensor x{1, 3, 3, 2};
+  EXPECT_EQ(argmax(x.span()), 1u);
+}
+
+TEST(OpsTest, AllFiniteDetectsNanAndInf) {
+  Tensor x{1, 2, 3};
+  EXPECT_TRUE(all_finite(x.span()));
+  x[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(x.span()));
+  x[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(x.span()));
+}
+
+TEST(OpsTest, FillNormalMoments) {
+  Tensor x(50000);
+  Rng rng(3);
+  fill_normal(x.span(), rng, 2.0f, 0.5f);
+  EXPECT_NEAR(mean(x.span()), 2.0f, 0.02f);
+}
+
+TEST(OpsTest, FillUniformRange) {
+  Tensor x(10000);
+  Rng rng(4);
+  fill_uniform(x.span(), rng, -1.0f, 1.0f);
+  for (float v : x.span()) {
+    ASSERT_GE(v, -1.0f);
+    ASSERT_LT(v, 1.0f);
+  }
+  EXPECT_NEAR(mean(x.span()), 0.0f, 0.05f);
+}
+
+// Reference (i,j,k) triple-loop GEMM to validate the optimized kernels.
+void naive_matmul(const std::vector<float>& a, const std::vector<float>& b,
+                  std::vector<float>& c, std::size_t m, std::size_t k,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) *
+               static_cast<double>(b[p * n + j]);
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+class MatmulTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(MatmulTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(42);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+
+  std::vector<float> expected(m * n);
+  naive_matmul(a, b, expected, m, k, n);
+
+  std::vector<float> c(m * n, 99.0f);
+  matmul({a.data(), a.size()}, {b.data(), b.size()}, {c.data(), c.size()},
+         m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-3f) << "index " << i;
+  }
+
+  // aᵀ·b variant: store a transposed (k×m) and expect the same product.
+  std::vector<float> at(k * m);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      at[p * m + i] = a[i * k + p];
+    }
+  }
+  std::vector<float> c2(m * n, 0.0f);
+  matmul_at_b({at.data(), at.size()}, {b.data(), b.size()},
+              {c2.data(), c2.size()}, m, k, n);
+  for (std::size_t i = 0; i < c2.size(); ++i) {
+    ASSERT_NEAR(c2[i], expected[i], 1e-3f);
+  }
+
+  // a·bᵀ variant: store b transposed (n×k).
+  std::vector<float> bt(n * k);
+  for (int p = 0; p < k; ++p) {
+    for (int j = 0; j < n; ++j) {
+      bt[j * k + p] = b[p * n + j];
+    }
+  }
+  std::vector<float> c3(m * n, 0.0f);
+  matmul_a_bt({a.data(), a.size()}, {bt.data(), bt.size()},
+              {c3.data(), c3.size()}, m, k, n);
+  for (std::size_t i = 0; i < c3.size(); ++i) {
+    ASSERT_NEAR(c3[i], expected[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9)));
+
+TEST(OpsTest, MatmulBetaAccumulates) {
+  std::vector<float> a{1, 0, 0, 1};  // identity 2x2
+  std::vector<float> b{1, 2, 3, 4};
+  std::vector<float> c{10, 10, 10, 10};
+  matmul({a.data(), 4}, {b.data(), 4}, {c.data(), 4}, 2, 2, 2, /*beta=*/1.0f);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(OpsTest, MatmulExtentChecks) {
+  std::vector<float> a(6), b(6), c(5);
+  EXPECT_THROW(matmul({a.data(), 6}, {b.data(), 6}, {c.data(), 5}, 2, 3, 2),
+               CheckError);
+}
+
+TEST(OpsTest, CopyInto) {
+  Tensor src{1, 2, 3};
+  Tensor dst(3);
+  copy_into(src.span(), dst.span());
+  EXPECT_EQ(dst[2], 3.0f);
+}
+
+TEST(OpsTest, MeanOfEmptyThrows) {
+  EXPECT_THROW(mean({}), CheckError);
+  EXPECT_THROW(argmax({}), CheckError);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(MARSIT_CHECK(1 + 1 == 2) << "never evaluated");
+}
+
+TEST(CheckTest, FailingCheckThrowsWithContext) {
+  try {
+    MARSIT_CHECK(2 + 2 == 5) << "math is " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("math is 42"), std::string::npos);
+    EXPECT_NE(what.find("util_misc_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageIsOptional) {
+  EXPECT_THROW(MARSIT_CHECK(false), CheckError);
+}
+
+TEST(RunningStatsTest, EmptyStats) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(PercentileTest, Median) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 1.0), 5.0);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+  EXPECT_THROW(percentile({1.0}, 1.5), CheckError);
+}
+
+TEST(BinomialZTest, ExactExpectationGivesZero) {
+  EXPECT_DOUBLE_EQ(binomial_z_score(500, 1000, 0.5), 0.0);
+}
+
+TEST(BinomialZTest, KnownDeviation) {
+  // 600/1000 at p=0.5: z = 100 / sqrt(250) ≈ 6.32.
+  EXPECT_NEAR(binomial_z_score(600, 1000, 0.5), 6.3245, 1e-3);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(TextTableTest, CsvQuotesSpecialCharacters) {
+  TextTable table({"k"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  std::ostringstream out;
+  table.print_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(FormatTest, FixedDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(FormatTest, Scientific) {
+  EXPECT_EQ(format_scientific(38041538408549000937472.0, 1), "3.8e+22");
+  EXPECT_EQ(format_scientific(0.00125), "1.25e-03");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024 * 1024), "3.50 GB");
+}
+
+TEST(FormatTest, Durations) {
+  EXPECT_EQ(format_duration(0.5e-3), "500.0 us");
+  EXPECT_EQ(format_duration(0.25), "250.0 ms");
+  EXPECT_EQ(format_duration(42.0), "42.00 s");
+  EXPECT_EQ(format_duration(300.0), "5.00 min");
+}
+
+TEST(LoggingTest, LevelFiltersAreHonored) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold records must not evaluate their stream arguments.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "x";
+  };
+  MARSIT_LOG(kDebug) << touch();
+  EXPECT_FALSE(evaluated);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,197 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(SplitMix64Test, KnownFirstOutputsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(RngTest, DeriveSeedProducesDecorrelatedStreams) {
+  // Streams derived from the same parent must not collide for practical
+  // stream counts.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 10000; ++s) {
+    seeds.insert(derive_seed(99, s));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowRejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.next_below(0), CheckError);
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(6);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  // Each bucket expects 10000 with sd ≈ 95; allow 5 sigma.
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, 5 * 95) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(RngTest, NormalHasCorrectMoments) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParameters) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.normal(3.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(10);
+  const double p = 0.3;
+  std::size_t hits = 0;
+  const std::size_t trials = 100000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    hits += rng.bernoulli(p) ? 1 : 0;
+  }
+  EXPECT_LT(std::fabs(binomial_z_score(hits, trials, p)), 5.0);
+}
+
+TEST(RngTest, BernoulliWordEdgeCases) {
+  Rng rng(11);
+  EXPECT_EQ(rng.bernoulli_word(0.0), 0u);
+  EXPECT_EQ(rng.bernoulli_word(-1.0), 0u);
+  EXPECT_EQ(rng.bernoulli_word(1.0), ~std::uint64_t{0});
+  EXPECT_EQ(rng.bernoulli_word(2.0), ~std::uint64_t{0});
+}
+
+/// The unbiasedness of the ⊙ operator rests on bernoulli_word being exact
+/// for non-dyadic probabilities like 1/M and (M−1)/M; sweep those.
+class BernoulliWordExactness : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliWordExactness, BitMeanMatchesP) {
+  const double p = GetParam();
+  Rng rng(12 + static_cast<std::uint64_t>(p * 1e6));
+  std::size_t bits = 0;
+  const std::size_t words = 40000;
+  for (std::size_t i = 0; i < words; ++i) {
+    bits += static_cast<std::size_t>(__builtin_popcountll(
+        rng.bernoulli_word(p)));
+  }
+  const std::size_t trials = words * 64;
+  EXPECT_LT(std::fabs(binomial_z_score(bits, trials, p)), 5.0)
+      << "p=" << p << " observed " << bits << "/" << trials;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Probabilities, BernoulliWordExactness,
+    ::testing::Values(0.5, 0.25, 1.0 / 3.0, 2.0 / 3.0, 1.0 / 7.0, 6.0 / 7.0,
+                      1.0 / 31.0, 30.0 / 31.0, 0.001, 0.999, 1.0 / 64.0));
+
+TEST(RngTest, BernoulliWordBitsAreIndependentAcrossLanes) {
+  // Adjacent-lane correlation should vanish: count 11 pairs at p=0.5.
+  Rng rng(13);
+  std::size_t pairs11 = 0;
+  const std::size_t words = 20000;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t w = rng.bernoulli_word(0.5);
+    pairs11 += static_cast<std::size_t>(__builtin_popcountll(w & (w >> 1)));
+  }
+  const std::size_t trials = words * 63;
+  EXPECT_LT(std::fabs(binomial_z_score(pairs11, trials, 0.25)), 5.0);
+}
+
+TEST(RngTest, DeterministicShuffleIsPermutation) {
+  std::vector<int> values(257);
+  std::iota(values.begin(), values.end(), 0);
+  Rng rng(14);
+  deterministic_shuffle(values.begin(), values.end(), rng);
+  std::set<int> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), values.size());
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 256);
+}
+
+TEST(RngTest, DeterministicShuffleReproducible) {
+  std::vector<int> a(100), b(100);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng ra(15), rb(15);
+  deterministic_shuffle(a.begin(), a.end(), ra);
+  deterministic_shuffle(b.begin(), b.end(), rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(16);
+  EXPECT_GE(rng(), Rng::min());
+}
+
+}  // namespace
+}  // namespace marsit

@@ -1,0 +1,188 @@
+// marsit_tune — CLI for exploring (task, model, method, hyperparameters)
+// combinations without recompiling.  Used to calibrate the bench configs;
+// kept in-tree because it is the fastest way for a user to sanity-check a
+// new configuration.
+//
+//   ./build/tools/marsit_tune --task images --model alexnet --method psgd \
+//       --eta_l 0.05 --rounds 200 --workers 4 --batch 16 --opt momentum
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/sync_strategy.hpp"
+#include "data/synthetic_digits.hpp"
+#include "data/synthetic_images.hpp"
+#include "data/synthetic_sentiment.hpp"
+#include "nn/models.hpp"
+#include "sim/trainer.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+using namespace marsit;
+
+namespace {
+
+const char* get_arg(int argc, char** argv, const char* key,
+                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], key) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarning);
+
+  const std::string task = get_arg(argc, argv, "--task", "digits");
+  const std::string model = get_arg(argc, argv, "--model", "mlp");
+  const std::string method = get_arg(argc, argv, "--method", "psgd");
+  const std::string opt = get_arg(argc, argv, "--opt", "sgd");
+  const float eta_l = std::atof(get_arg(argc, argv, "--eta_l", "0.05"));
+  const float eta_s = std::atof(get_arg(argc, argv, "--eta_s", "0.002"));
+  const std::size_t rounds = std::atol(get_arg(argc, argv, "--rounds", "200"));
+  const std::size_t workers = std::atol(get_arg(argc, argv, "--workers", "4"));
+  const std::size_t batch = std::atol(get_arg(argc, argv, "--batch", "16"));
+  const std::size_t k = std::atol(get_arg(argc, argv, "--k", "0"));
+  const std::size_t local = std::atol(get_arg(argc, argv, "--local", "1"));
+  const std::string fabric = get_arg(argc, argv, "--fabric", "ring");
+  const std::uint64_t seed = std::atol(get_arg(argc, argv, "--seed", "7"));
+  const float clip = std::atof(get_arg(argc, argv, "--clip", "0"));
+  const bool nocomp = std::atoi(get_arg(argc, argv, "--nocomp", "0")) != 0;
+  const float fpclip = std::atof(get_arg(argc, argv, "--fpclip", "0"));
+
+  std::unique_ptr<Dataset> dataset;
+  ImageDims dims{};
+  if (task == "digits") {
+    auto d = std::make_unique<SyntheticDigits>();
+    dims = d->image_dims();
+    dataset = std::move(d);
+  } else if (task == "images") {
+    auto d = std::make_unique<SyntheticImages>();
+    dims = d->image_dims();
+    dataset = std::move(d);
+  } else if (task == "images_l") {
+    auto d = std::make_unique<SyntheticImages>(
+        SyntheticImagesConfig::imagenet_like());
+    dims = d->image_dims();
+    dataset = std::move(d);
+  } else if (task == "sentiment") {
+    dataset = std::make_unique<SyntheticSentiment>();
+  } else {
+    std::cerr << "unknown --task " << task << "\n";
+    return 1;
+  }
+
+  std::function<Sequential()> factory;
+  if (model == "mlp") {
+    factory = [&] {
+      return make_mlp(dataset->sample_size(), {48}, dataset->num_classes());
+    };
+  } else if (model == "mlp_small") {
+    factory = [&] {
+      return make_mlp(dataset->sample_size(), {12}, dataset->num_classes());
+    };
+  } else if (model == "alexnet") {
+    factory = [&] { return make_alexnet_mini(dims, dataset->num_classes()); };
+  } else if (model == "resnet20") {
+    factory = [&] { return make_resnet20_mini(dims, dataset->num_classes()); };
+  } else if (model == "resnet18") {
+    factory = [&] { return make_resnet18_mini(dims, dataset->num_classes()); };
+  } else if (model == "resnet50") {
+    factory = [&] { return make_resnet50_mini(dims, dataset->num_classes()); };
+  } else if (model == "text") {
+    auto* s = dynamic_cast<SyntheticSentiment*>(dataset.get());
+    if (s == nullptr) {
+      std::cerr << "--model text requires --task sentiment\n";
+      return 1;
+    }
+    factory = [s] {
+      return make_text_classifier(s->vocab_size(), s->seq_len(), 16, 2);
+    };
+  } else {
+    std::cerr << "unknown --model " << model << "\n";
+    return 1;
+  }
+
+  SyncMethod sync_method;
+  MarParadigm paradigm = MarParadigm::kRing;
+  std::size_t torus_rows = 0, torus_cols = 0;
+  if (fabric == "tree") {
+    paradigm = MarParadigm::kTree;
+  } else if (fabric == "torus") {
+    paradigm = MarParadigm::kTorus2d;
+    torus_rows = 2;
+    torus_cols = workers / 2;
+    if (torus_rows * torus_cols != workers || torus_cols < 2) {
+      std::cerr << "--fabric torus needs an even worker count >= 4\n";
+      return 1;
+    }
+  } else if (fabric != "ring") {
+    std::cerr << "unknown --fabric " << fabric << "\n";
+    return 1;
+  }
+  if (method == "psgd") sync_method = SyncMethod::kPsgd;
+  else if (method == "signsgd") sync_method = SyncMethod::kSignSgdMv;
+  else if (method == "ef") sync_method = SyncMethod::kEfSignSgd;
+  else if (method == "ssdm") sync_method = SyncMethod::kSsdm;
+  else if (method == "cascading") sync_method = SyncMethod::kCascading;
+  else if (method == "marsit") sync_method = SyncMethod::kMarsit;
+  else {
+    std::cerr << "unknown --method " << method << "\n";
+    return 1;
+  }
+
+  SyncConfig sync_config;
+  sync_config.num_workers = workers;
+  sync_config.paradigm = paradigm;
+  sync_config.torus_rows = torus_rows;
+  sync_config.torus_cols = torus_cols;
+  sync_config.seed = seed;
+  std::unique_ptr<SyncStrategy> strategy;
+  if (sync_method == SyncMethod::kMarsit) {
+    MarsitOptions marsit_options;
+    marsit_options.eta_s = eta_s;
+    marsit_options.full_precision_period = k;
+    marsit_options.use_compensation = !nocomp;
+    marsit_options.full_precision_max_norm = fpclip;
+    strategy = std::make_unique<MarsitSync>(sync_config, marsit_options);
+  } else {
+    MethodOptions options;
+    options.eta_s = eta_s;
+    options.full_precision_period = k;
+    strategy = make_sync_strategy(sync_method, sync_config, options);
+  }
+
+  TrainerConfig config;
+  config.batch_size_per_worker = batch;
+  config.optimizer = opt == "momentum" ? OptimizerKind::kMomentum
+                     : opt == "adam"   ? OptimizerKind::kAdam
+                                       : OptimizerKind::kSgd;
+  config.eta_l = eta_l;
+  config.clip_grad_norm = clip;
+  config.local_steps = local;
+  config.rounds = rounds;
+  config.eval_interval = std::max<std::size_t>(1, rounds / 10);
+  config.eval_samples = 512;
+  config.seed = seed;
+
+  DistributedTrainer trainer(*dataset, factory, *strategy, config);
+  std::cout << strategy->name() << " on " << task << "/" << model << " ("
+            << trainer.param_count() << " params), eta_l=" << eta_l
+            << " eta_s=" << eta_s << " opt=" << opt << "\n";
+  const TrainResult result = trainer.train();
+  TextTable table({"round", "acc (%)", "loss", "sim time"});
+  for (const EvalPoint& p : result.evals) {
+    table.add_row({std::to_string(p.round),
+                   format_fixed(100.0 * p.test_accuracy, 1),
+                   format_fixed(p.test_loss, 3),
+                   format_duration(p.sim_seconds)});
+  }
+  table.print(std::cout);
+  if (result.diverged) std::cout << "DIVERGED\n";
+  return 0;
+}

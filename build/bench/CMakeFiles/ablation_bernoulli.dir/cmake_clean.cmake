@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bernoulli.dir/ablation_bernoulli.cpp.o"
+  "CMakeFiles/ablation_bernoulli.dir/ablation_bernoulli.cpp.o.d"
+  "ablation_bernoulli"
+  "ablation_bernoulli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bernoulli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

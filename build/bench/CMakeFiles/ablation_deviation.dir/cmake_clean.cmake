@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deviation.dir/ablation_deviation.cpp.o"
+  "CMakeFiles/ablation_deviation.dir/ablation_deviation.cpp.o.d"
+  "ablation_deviation"
+  "ablation_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elias.dir/ablation_elias.cpp.o"
+  "CMakeFiles/ablation_elias.dir/ablation_elias.cpp.o.d"
+  "ablation_elias"
+  "ablation_elias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fabrics.dir/ablation_fabrics.cpp.o"
+  "CMakeFiles/ablation_fabrics.dir/ablation_fabrics.cpp.o.d"
+  "ablation_fabrics"
+  "ablation_fabrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fabrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_speedup.dir/ablation_speedup.cpp.o"
+  "CMakeFiles/ablation_speedup.dir/ablation_speedup.cpp.o.d"
+  "ablation_speedup"
+  "ablation_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

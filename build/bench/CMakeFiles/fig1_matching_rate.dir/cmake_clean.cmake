@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_matching_rate.dir/fig1_matching_rate.cpp.o"
+  "CMakeFiles/fig1_matching_rate.dir/fig1_matching_rate.cpp.o.d"
+  "fig1_matching_rate"
+  "fig1_matching_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_matching_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_resnet_imagenet.dir/fig4_resnet_imagenet.cpp.o"
+  "CMakeFiles/fig4_resnet_imagenet.dir/fig4_resnet_imagenet.cpp.o.d"
+  "fig4_resnet_imagenet"
+  "fig4_resnet_imagenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resnet_imagenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

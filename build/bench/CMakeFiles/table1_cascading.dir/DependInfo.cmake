@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_cascading.cpp" "bench/CMakeFiles/table1_cascading.dir/table1_cascading.cpp.o" "gcc" "bench/CMakeFiles/table1_cascading.dir/table1_cascading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/marsit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/marsit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/marsit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/marsit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/marsit_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/marsit_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/marsit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/marsit_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/marsit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marsit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cascading.dir/table1_cascading.cpp.o"
+  "CMakeFiles/table1_cascading.dir/table1_cascading.cpp.o.d"
+  "table1_cascading"
+  "table1_cascading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cascading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentiment_analysis.dir/sentiment_analysis.cpp.o"
+  "CMakeFiles/sentiment_analysis.dir/sentiment_analysis.cpp.o.d"
+  "sentiment_analysis"
+  "sentiment_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentiment_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/aggregators.cpp" "src/collectives/CMakeFiles/marsit_collectives.dir/aggregators.cpp.o" "gcc" "src/collectives/CMakeFiles/marsit_collectives.dir/aggregators.cpp.o.d"
+  "/root/repo/src/collectives/timing.cpp" "src/collectives/CMakeFiles/marsit_collectives.dir/timing.cpp.o" "gcc" "src/collectives/CMakeFiles/marsit_collectives.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compress/CMakeFiles/marsit_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/marsit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/marsit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marsit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

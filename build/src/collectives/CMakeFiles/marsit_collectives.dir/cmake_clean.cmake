@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_collectives.dir/aggregators.cpp.o"
+  "CMakeFiles/marsit_collectives.dir/aggregators.cpp.o.d"
+  "CMakeFiles/marsit_collectives.dir/timing.cpp.o"
+  "CMakeFiles/marsit_collectives.dir/timing.cpp.o.d"
+  "libmarsit_collectives.a"
+  "libmarsit_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

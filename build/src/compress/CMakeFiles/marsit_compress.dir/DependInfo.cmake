@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bit_vector.cpp" "src/compress/CMakeFiles/marsit_compress.dir/bit_vector.cpp.o" "gcc" "src/compress/CMakeFiles/marsit_compress.dir/bit_vector.cpp.o.d"
+  "/root/repo/src/compress/elias.cpp" "src/compress/CMakeFiles/marsit_compress.dir/elias.cpp.o" "gcc" "src/compress/CMakeFiles/marsit_compress.dir/elias.cpp.o.d"
+  "/root/repo/src/compress/sign_codec.cpp" "src/compress/CMakeFiles/marsit_compress.dir/sign_codec.cpp.o" "gcc" "src/compress/CMakeFiles/marsit_compress.dir/sign_codec.cpp.o.d"
+  "/root/repo/src/compress/sign_sum.cpp" "src/compress/CMakeFiles/marsit_compress.dir/sign_sum.cpp.o" "gcc" "src/compress/CMakeFiles/marsit_compress.dir/sign_sum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/marsit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marsit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_compress.dir/bit_vector.cpp.o"
+  "CMakeFiles/marsit_compress.dir/bit_vector.cpp.o.d"
+  "CMakeFiles/marsit_compress.dir/elias.cpp.o"
+  "CMakeFiles/marsit_compress.dir/elias.cpp.o.d"
+  "CMakeFiles/marsit_compress.dir/sign_codec.cpp.o"
+  "CMakeFiles/marsit_compress.dir/sign_codec.cpp.o.d"
+  "CMakeFiles/marsit_compress.dir/sign_sum.cpp.o"
+  "CMakeFiles/marsit_compress.dir/sign_sum.cpp.o.d"
+  "libmarsit_compress.a"
+  "libmarsit_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distributed_sgd.cpp" "src/core/CMakeFiles/marsit_core.dir/distributed_sgd.cpp.o" "gcc" "src/core/CMakeFiles/marsit_core.dir/distributed_sgd.cpp.o.d"
+  "/root/repo/src/core/one_bit.cpp" "src/core/CMakeFiles/marsit_core.dir/one_bit.cpp.o" "gcc" "src/core/CMakeFiles/marsit_core.dir/one_bit.cpp.o.d"
+  "/root/repo/src/core/sync_strategy.cpp" "src/core/CMakeFiles/marsit_core.dir/sync_strategy.cpp.o" "gcc" "src/core/CMakeFiles/marsit_core.dir/sync_strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collectives/CMakeFiles/marsit_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/marsit_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/marsit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/marsit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marsit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_core.dir/distributed_sgd.cpp.o"
+  "CMakeFiles/marsit_core.dir/distributed_sgd.cpp.o.d"
+  "CMakeFiles/marsit_core.dir/one_bit.cpp.o"
+  "CMakeFiles/marsit_core.dir/one_bit.cpp.o.d"
+  "CMakeFiles/marsit_core.dir/sync_strategy.cpp.o"
+  "CMakeFiles/marsit_core.dir/sync_strategy.cpp.o.d"
+  "libmarsit_core.a"
+  "libmarsit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

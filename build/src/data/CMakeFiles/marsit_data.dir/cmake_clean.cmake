@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_data.dir/dataset.cpp.o"
+  "CMakeFiles/marsit_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/marsit_data.dir/synthetic_digits.cpp.o"
+  "CMakeFiles/marsit_data.dir/synthetic_digits.cpp.o.d"
+  "CMakeFiles/marsit_data.dir/synthetic_images.cpp.o"
+  "CMakeFiles/marsit_data.dir/synthetic_images.cpp.o.d"
+  "CMakeFiles/marsit_data.dir/synthetic_sentiment.cpp.o"
+  "CMakeFiles/marsit_data.dir/synthetic_sentiment.cpp.o.d"
+  "libmarsit_data.a"
+  "libmarsit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_net.dir/network_sim.cpp.o"
+  "CMakeFiles/marsit_net.dir/network_sim.cpp.o.d"
+  "CMakeFiles/marsit_net.dir/topology.cpp.o"
+  "CMakeFiles/marsit_net.dir/topology.cpp.o.d"
+  "libmarsit_net.a"
+  "libmarsit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/marsit_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/marsit_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/marsit_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/marsit_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/marsit_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/marsit_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/marsit_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/marsit_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/marsit_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/marsit_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/marsit_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/marsit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/marsit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_nn.dir/activation.cpp.o"
+  "CMakeFiles/marsit_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/conv.cpp.o"
+  "CMakeFiles/marsit_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/embedding.cpp.o"
+  "CMakeFiles/marsit_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/layer.cpp.o"
+  "CMakeFiles/marsit_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/linear.cpp.o"
+  "CMakeFiles/marsit_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/loss.cpp.o"
+  "CMakeFiles/marsit_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/models.cpp.o"
+  "CMakeFiles/marsit_nn.dir/models.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/marsit_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/residual.cpp.o"
+  "CMakeFiles/marsit_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/marsit_nn.dir/sequential.cpp.o"
+  "CMakeFiles/marsit_nn.dir/sequential.cpp.o.d"
+  "libmarsit_nn.a"
+  "libmarsit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

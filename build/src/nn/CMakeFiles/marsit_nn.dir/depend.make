@@ -1,0 +1,2 @@
+# Empty dependencies file for marsit_nn.
+# This may be replaced when dependencies are built.

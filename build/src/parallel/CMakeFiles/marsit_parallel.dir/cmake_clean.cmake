@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/marsit_parallel.dir/thread_pool.cpp.o.d"
+  "libmarsit_parallel.a"
+  "libmarsit_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

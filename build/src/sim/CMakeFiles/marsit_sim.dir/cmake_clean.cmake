@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_sim.dir/trainer.cpp.o"
+  "CMakeFiles/marsit_sim.dir/trainer.cpp.o.d"
+  "libmarsit_sim.a"
+  "libmarsit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_tensor.dir/ops.cpp.o"
+  "CMakeFiles/marsit_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/marsit_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/marsit_tensor.dir/tensor.cpp.o.d"
+  "libmarsit_tensor.a"
+  "libmarsit_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmarsit_tensor.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_util.dir/check.cpp.o"
+  "CMakeFiles/marsit_util.dir/check.cpp.o.d"
+  "CMakeFiles/marsit_util.dir/logging.cpp.o"
+  "CMakeFiles/marsit_util.dir/logging.cpp.o.d"
+  "CMakeFiles/marsit_util.dir/rng.cpp.o"
+  "CMakeFiles/marsit_util.dir/rng.cpp.o.d"
+  "CMakeFiles/marsit_util.dir/stats.cpp.o"
+  "CMakeFiles/marsit_util.dir/stats.cpp.o.d"
+  "CMakeFiles/marsit_util.dir/table.cpp.o"
+  "CMakeFiles/marsit_util.dir/table.cpp.o.d"
+  "libmarsit_util.a"
+  "libmarsit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

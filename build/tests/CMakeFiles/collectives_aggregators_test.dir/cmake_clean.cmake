@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_aggregators_test.dir/collectives_aggregators_test.cpp.o"
+  "CMakeFiles/collectives_aggregators_test.dir/collectives_aggregators_test.cpp.o.d"
+  "collectives_aggregators_test"
+  "collectives_aggregators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_aggregators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

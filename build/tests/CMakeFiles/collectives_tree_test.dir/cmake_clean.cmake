@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_tree_test.dir/collectives_tree_test.cpp.o"
+  "CMakeFiles/collectives_tree_test.dir/collectives_tree_test.cpp.o.d"
+  "collectives_tree_test"
+  "collectives_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

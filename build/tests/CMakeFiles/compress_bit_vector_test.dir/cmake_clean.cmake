@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_bit_vector_test.dir/compress_bit_vector_test.cpp.o"
+  "CMakeFiles/compress_bit_vector_test.dir/compress_bit_vector_test.cpp.o.d"
+  "compress_bit_vector_test"
+  "compress_bit_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_bit_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_elias_test.dir/compress_elias_test.cpp.o"
+  "CMakeFiles/compress_elias_test.dir/compress_elias_test.cpp.o.d"
+  "compress_elias_test"
+  "compress_elias_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_elias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_sign_codec_test.dir/compress_sign_codec_test.cpp.o"
+  "CMakeFiles/compress_sign_codec_test.dir/compress_sign_codec_test.cpp.o.d"
+  "compress_sign_codec_test"
+  "compress_sign_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_sign_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

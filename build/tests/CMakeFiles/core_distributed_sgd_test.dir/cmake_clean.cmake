@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distributed_sgd_test.dir/core_distributed_sgd_test.cpp.o"
+  "CMakeFiles/core_distributed_sgd_test.dir/core_distributed_sgd_test.cpp.o.d"
+  "core_distributed_sgd_test"
+  "core_distributed_sgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distributed_sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

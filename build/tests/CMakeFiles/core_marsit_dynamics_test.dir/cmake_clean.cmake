@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_marsit_dynamics_test.dir/core_marsit_dynamics_test.cpp.o"
+  "CMakeFiles/core_marsit_dynamics_test.dir/core_marsit_dynamics_test.cpp.o.d"
+  "core_marsit_dynamics_test"
+  "core_marsit_dynamics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_marsit_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

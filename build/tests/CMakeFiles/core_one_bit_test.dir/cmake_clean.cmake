@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_one_bit_test.dir/core_one_bit_test.cpp.o"
+  "CMakeFiles/core_one_bit_test.dir/core_one_bit_test.cpp.o.d"
+  "core_one_bit_test"
+  "core_one_bit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_one_bit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

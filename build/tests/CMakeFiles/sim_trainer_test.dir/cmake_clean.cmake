@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trainer_test.dir/sim_trainer_test.cpp.o"
+  "CMakeFiles/sim_trainer_test.dir/sim_trainer_test.cpp.o.d"
+  "sim_trainer_test"
+  "sim_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

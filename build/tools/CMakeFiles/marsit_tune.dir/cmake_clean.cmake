@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marsit_tune.dir/tune.cpp.o"
+  "CMakeFiles/marsit_tune.dir/tune.cpp.o.d"
+  "marsit_tune"
+  "marsit_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marsit_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,126 +1,318 @@
-// google-benchmark microbenchmarks for the hot kernels: packed Bernoulli
-// generation, the ⊙ combine, sign packing, SSDM's stochastic sign, Elias
-// coding, GEMM, and the collective timing schedules themselves.
-#include <benchmark/benchmark.h>
-
+// Kernel benchmark harness: scalar vs word-parallel vs sharded timings for
+// the hot bit-plane kernels (sign packing/unpacking, sign-sum accumulation,
+// majority vote, the ⊙ combine), written as JSON for regression tracking.
+//
+//   micro_kernels [--out BENCH_kernels.json] [--sizes 1048576,16777216,...]
+//                 [--reps 5] [--threads N]
+//
+// Per kernel and size the harness reports the best-of-reps seconds for
+//   * scalar   — the original element-at-a-time loops (*_scalar),
+//   * word     — the 64-elements-per-word kernels (compress/kernels.hpp),
+//   * sharded  — the word kernels fanned over the thread pool in
+//                ShardPlan chunks (the synchronization path's shape),
+// plus the speedup ratios scalar/word and scalar/sharded.  The word kernels
+// are bit-identical to the scalar references (tests/compress_kernels_test),
+// so this file measures pure throughput, not accuracy trade-offs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "collectives/timing.hpp"
-#include "compress/elias.hpp"
+#include "compress/kernels.hpp"
 #include "compress/sign_codec.hpp"
+#include "compress/sign_sum.hpp"
 #include "core/one_bit.hpp"
+#include "parallel/shard.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
 
 namespace marsit {
 namespace {
 
-void BM_BernoulliWord(benchmark::State& state) {
-  Rng rng(1);
-  const double p = 1.0 / 7.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.bernoulli_word(p));
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-reps wall time of fn(), with one untimed warmup call.
+template <typename Fn>
+double time_best(std::size_t reps, Fn&& fn) {
+  fn();  // warmup: page in buffers, settle the pool
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    const double t1 = now_seconds();
+    best = std::min(best, t1 - t0);
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string kernel;
+  std::size_t elements = 0;
+  double scalar_seconds = 0.0;
+  double word_seconds = 0.0;
+  double sharded_seconds = 0.0;
+};
+
+struct Options {
+  std::string out = "BENCH_kernels.json";
+  std::vector<std::size_t> sizes = {1u << 20, 1u << 24, 1u << 26};
+  std::size_t reps = 5;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+};
+
+std::size_t parse_count(const std::string& text, const char* flag) {
+  try {
+    std::size_t consumed = 0;
+    const std::size_t value = std::stoull(text, &consumed);
+    if (consumed != text.size()) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "invalid value '%s' for %s\n", text.c_str(), flag);
+    std::exit(2);
   }
 }
-BENCHMARK(BM_BernoulliWord);
 
-void BM_OneBitCombine(benchmark::State& state) {
-  const std::size_t d = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
-  BitVector a(d), b(d);
-  a.fill(true);
-  for (std::size_t i = 0; i < d; i += 3) {
-    b.set(i, true);
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      opt.out = value();
+    } else if (arg == "--sizes") {
+      opt.sizes.clear();
+      const std::string list = value();
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t next = list.find(',', pos);
+        if (next == std::string::npos) {
+          next = list.size();
+        }
+        opt.sizes.push_back(
+            parse_count(list.substr(pos, next - pos), "--sizes"));
+        pos = next + 1;
+      }
+    } else if (arg == "--reps") {
+      opt.reps = parse_count(value(), "--reps");
+    } else if (arg == "--threads") {
+      opt.threads = parse_count(value(), "--threads");
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_kernels [--out FILE] [--sizes N,N,...] "
+                   "[--reps R] [--threads T]\n");
+      std::exit(2);
+    }
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(one_bit_combine(a, 3, b, 1, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
+  return opt;
 }
-BENCHMARK(BM_OneBitCombine)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_PackSigns(benchmark::State& state) {
-  const std::size_t d = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
+/// The shared chunk geometry used by the sharded timings (matches
+/// SyncConfig::shard_chunk_elements' default).
+constexpr std::size_t kChunk = 1 << 16;
+
+std::vector<KernelResult> run_size(std::size_t d, std::size_t reps,
+                                   ThreadPool& pool) {
+  std::vector<KernelResult> results;
+  Rng rng(42);
   std::vector<float> g(d);
   fill_normal({g.data(), d}, rng, 0.0f, 1.0f);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pack_signs({g.data(), d}));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
-}
-BENCHMARK(BM_PackSigns)->Arg(1 << 16)->Arg(1 << 20);
+  const std::span<const float> gs{g.data(), d};
 
-void BM_SsdmPack(benchmark::State& state) {
-  const std::size_t d = static_cast<std::size_t>(state.range(0));
-  Rng rng(4);
-  std::vector<float> g(d);
-  fill_normal({g.data(), d}, rng, 0.0f, 1.0f);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ssdm_pack({g.data(), d}, rng));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
-}
-BENCHMARK(BM_SsdmPack)->Arg(1 << 16);
+  BitVector bits = pack_signs(gs);
+  std::vector<float> out(d);
+  const std::span<float> outs{out.data(), d};
+  SignSum sum(d);
+  const ShardPlan plan(d, kChunk);
+  const auto sharded = [&](auto&& chunk_fn) {
+    parallel_for(pool, plan.num_chunks(), [&](std::size_t c) {
+      chunk_fn(plan.chunk(c));
+    });
+  };
 
-void BM_EliasGammaEncodeSigned(benchmark::State& state) {
-  const std::size_t d = static_cast<std::size_t>(state.range(0));
-  Rng rng(5);
-  std::vector<std::int32_t> values(d);
-  for (auto& v : values) {
-    v = static_cast<std::int32_t>(rng.next_below(17)) - 8;
+  {
+    KernelResult r;
+    r.kernel = "pack_signs";
+    r.elements = d;
+    BitVector scratch(d);
+    r.scalar_seconds =
+        time_best(reps, [&] { scratch = pack_signs_scalar(gs); });
+    r.word_seconds = time_best(
+        reps, [&] { kernels::pack_signs_words(gs, scratch.words()); });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        kernels::pack_signs_words(
+            gs.subspan(s.begin, s.size()),
+            scratch.words().subspan(s.word_begin(), s.num_words()));
+      });
+    });
+    results.push_back(r);
   }
-  for (auto _ : state) {
-    BitWriter writer;
-    benchmark::DoNotOptimize(
-        elias_gamma_encode_signed({values.data(), d}, writer));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(d));
-}
-BENCHMARK(BM_EliasGammaEncodeSigned)->Arg(1 << 14);
 
-void BM_Matmul(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  Rng rng(6);
-  std::vector<float> a(n * n), b(n * n), c(n * n);
-  fill_normal({a.data(), a.size()}, rng, 0.0f, 1.0f);
-  fill_normal({b.data(), b.size()}, rng, 0.0f, 1.0f);
-  for (auto _ : state) {
-    matmul({a.data(), a.size()}, {b.data(), b.size()}, {c.data(), c.size()},
-           n, n, n);
-    benchmark::DoNotOptimize(c.data());
+  {
+    KernelResult r;
+    r.kernel = "unpack_signs";
+    r.elements = d;
+    r.scalar_seconds =
+        time_best(reps, [&] { unpack_signs_scalar(bits, 0.5f, outs); });
+    r.word_seconds = time_best(
+        reps, [&] { kernels::unpack_signs_words(bits.words(), 0.5f, outs); });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        kernels::unpack_signs_words(
+            bits.words().subspan(s.word_begin(), s.num_words()), 0.5f,
+            outs.subspan(s.begin, s.size()));
+      });
+    });
+    results.push_back(r);
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n * n));
-}
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(128);
 
-void BM_RingTimingSchedule(benchmark::State& state) {
-  const std::size_t m = static_cast<std::size_t>(state.range(0));
-  const CostModel model;
-  NetworkSim net(m, model);
-  const WireFormat wire = marsit_wire(model);
-  for (auto _ : state) {
-    net.reset();
-    benchmark::DoNotOptimize(
-        ring_allreduce_timing(m, 1 << 20, wire, net));
+  {
+    KernelResult r;
+    r.kernel = "accumulate_signs";
+    r.elements = d;
+    r.scalar_seconds =
+        time_best(reps, [&] { accumulate_signs_scalar(bits, 0.5f, outs); });
+    r.word_seconds = time_best(reps, [&] {
+      kernels::accumulate_signs_words(bits.words(), 0.5f, outs);
+    });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        kernels::accumulate_signs_words(
+            bits.words().subspan(s.word_begin(), s.num_words()), 0.5f,
+            outs.subspan(s.begin, s.size()));
+      });
+    });
+    results.push_back(r);
   }
-}
-BENCHMARK(BM_RingTimingSchedule)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_TorusTimingSchedule(benchmark::State& state) {
-  const std::size_t side = static_cast<std::size_t>(state.range(0));
-  const CostModel model;
-  NetworkSim net(side * side, model);
-  const WireFormat wire = marsit_wire(model);
-  for (auto _ : state) {
-    net.reset();
-    benchmark::DoNotOptimize(
-        torus_allreduce_timing(side, side, 1 << 20, wire, net));
+  {
+    KernelResult r;
+    r.kernel = "signsum_accumulate";
+    r.elements = d;
+    r.scalar_seconds = time_best(reps, [&] { sum.accumulate_scalar(bits); });
+    r.word_seconds = time_best(reps, [&] { sum.accumulate(bits); });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        kernels::accumulate_counts_words(
+            bits.words().subspan(s.word_begin(), s.num_words()),
+            sum.values_mut().subspan(s.begin, s.size()));
+      });
+    });
+    results.push_back(r);
   }
+
+  {
+    KernelResult r;
+    r.kernel = "signsum_majority";
+    r.elements = d;
+    BitVector scratch(d);
+    r.scalar_seconds = time_best(reps, [&] { scratch = sum.majority_scalar(); });
+    r.word_seconds = time_best(reps, [&] { scratch = sum.majority(); });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        kernels::majority_words(
+            sum.values().subspan(s.begin, s.size()),
+            scratch.words().subspan(s.word_begin(), s.num_words()));
+      });
+    });
+    results.push_back(r);
+  }
+
+  {
+    // ⊙ has no scalar/word split (it is word-parallel by construction);
+    // "scalar" is the allocating per-hop form the reduction chains used
+    // before the in-place variants, "word" the in-place combine.
+    KernelResult r;
+    r.kernel = "one_bit_combine";
+    r.elements = d;
+    Rng combine_rng(7);
+    BitVector other = pack_signs(gs);
+    r.scalar_seconds = time_best(reps, [&] {
+      BitVector fresh = one_bit_combine(bits, 3, other, 1, combine_rng);
+      (void)fresh;
+    });
+    r.word_seconds = time_best(
+        reps, [&] { one_bit_combine_into(bits, 3, other, 1, combine_rng); });
+    r.sharded_seconds = time_best(reps, [&] {
+      sharded([&](const Shard& s) {
+        Rng chunk_rng(derive_seed(11, s.index));
+        one_bit_combine_words(
+            bits.words().subspan(s.word_begin(), s.num_words()), 3,
+            other.words().subspan(s.word_begin(), s.num_words()), 1,
+            chunk_rng);
+      });
+    });
+    results.push_back(r);
+  }
+
+  return results;
 }
-BENCHMARK(BM_TorusTimingSchedule)->Arg(4)->Arg(8);
+
+void write_json(const Options& opt, const std::vector<KernelResult>& results,
+                std::size_t threads) {
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_kernels\",\n");
+  std::fprintf(f, "  \"pool_threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"chunk_elements\": %zu,\n",
+               static_cast<std::size_t>(kChunk));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"elements\": %zu, "
+                 "\"scalar_seconds\": %.9f, \"word_seconds\": %.9f, "
+                 "\"sharded_seconds\": %.9f, \"word_speedup\": %.3f, "
+                 "\"sharded_speedup\": %.3f}%s\n",
+                 r.kernel.c_str(), r.elements, r.scalar_seconds,
+                 r.word_seconds, r.sharded_seconds,
+                 r.scalar_seconds / r.word_seconds,
+                 r.scalar_seconds / r.sharded_seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
 
 }  // namespace
 }  // namespace marsit
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace marsit;
+  const Options opt = parse_options(argc, argv);
+  ThreadPool pool(opt.threads);
+  std::vector<KernelResult> all;
+  for (const std::size_t d : opt.sizes) {
+    std::fprintf(stderr, "timing %zu elements...\n", d);
+    const std::vector<KernelResult> batch = run_size(d, opt.reps, pool);
+    for (const KernelResult& r : batch) {
+      std::fprintf(stderr, "  %-18s scalar %.4fs  word %.4fs (%.1fx)  "
+                   "sharded %.4fs (%.1fx)\n",
+                   r.kernel.c_str(), r.scalar_seconds, r.word_seconds,
+                   r.scalar_seconds / r.word_seconds, r.sharded_seconds,
+                   r.scalar_seconds / r.sharded_seconds);
+      all.push_back(r);
+    }
+  }
+  write_json(opt, all, pool.num_threads());
+  std::fprintf(stderr, "wrote %s\n", opt.out.c_str());
+  return 0;
+}

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "compress/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
 
 BitVector pack_signs(std::span<const float> g) {
+  BitVector bits(g.size());
+  kernels::pack_signs_words(g, bits.words());
+  return bits;
+}
+
+BitVector pack_signs_scalar(std::span<const float> g) {
   BitVector bits(g.size());
   auto words = bits.words();
   for (std::size_t i = 0; i < g.size(); ++i) {
@@ -19,6 +26,14 @@ BitVector pack_signs(std::span<const float> g) {
 }
 
 void unpack_signs(const BitVector& bits, float scale, std::span<float> out) {
+  MARSIT_CHECK(bits.size() == out.size())
+      << "unpack_signs: " << bits.size() << " bits into " << out.size()
+      << " floats";
+  kernels::unpack_signs_words(bits.words(), scale, out);
+}
+
+void unpack_signs_scalar(const BitVector& bits, float scale,
+                         std::span<float> out) {
   MARSIT_CHECK(bits.size() == out.size())
       << "unpack_signs: " << bits.size() << " bits into " << out.size()
       << " floats";
@@ -34,6 +49,14 @@ void accumulate_signs(const BitVector& bits, float scale,
   MARSIT_CHECK(bits.size() == out.size())
       << "accumulate_signs: " << bits.size() << " bits into " << out.size()
       << " floats";
+  kernels::accumulate_signs_words(bits.words(), scale, out);
+}
+
+void accumulate_signs_scalar(const BitVector& bits, float scale,
+                             std::span<float> out) {
+  MARSIT_CHECK(bits.size() == out.size())
+      << "accumulate_signs: " << bits.size() << " bits into " << out.size()
+      << " floats";
   auto words = bits.words();
   for (std::size_t i = 0; i < out.size(); ++i) {
     const bool positive = (words[i / 64] >> (i % 64)) & 1u;
@@ -41,7 +64,45 @@ void accumulate_signs(const BitVector& bits, float scale,
   }
 }
 
+void ssdm_pack_words(std::span<const float> g, Rng& rng, std::size_t block,
+                     std::span<std::uint64_t> words) {
+  MARSIT_CHECK(words.size() == kernels::words_for(g.size()))
+      << "ssdm_pack_words span " << words.size() << " vs " << g.size()
+      << " elements";
+  // Overwrite semantics: callers reuse scratch words across rounds.
+  std::fill(words.begin(), words.end(), std::uint64_t{0});
+  const std::size_t block_size = block == 0 ? g.size() : block;
+  for (std::size_t begin = 0; begin < g.size(); begin += block_size) {
+    const std::size_t len = std::min(block_size, g.size() - begin);
+    const float norm = l2_norm(g.subspan(begin, len));
+    if (norm == 0.0f) {
+      // Degenerate block: deterministic +1, per the sign convention.
+      for (std::size_t i = begin; i < begin + len; ++i) {
+        words[i / 64] |= std::uint64_t{1} << (i % 64);
+      }
+      continue;
+    }
+    const float inv_two_norm = 0.5f / norm;
+    for (std::size_t i = begin; i < begin + len; ++i) {
+      const double p = std::clamp(0.5 + static_cast<double>(g[i]) *
+                                            static_cast<double>(inv_two_norm),
+                                  0.0, 1.0);
+      // Branch-free set: same draw (one next_double) as rng.bernoulli(p),
+      // so this path is bit-identical to ssdm_pack_scalar at equal seeds.
+      words[i / 64] |= static_cast<std::uint64_t>(rng.next_double() < p)
+                       << (i % 64);
+    }
+  }
+}
+
 BitVector ssdm_pack(std::span<const float> g, Rng& rng, std::size_t block) {
+  BitVector bits(g.size());
+  ssdm_pack_words(g, rng, block, bits.words());
+  return bits;
+}
+
+BitVector ssdm_pack_scalar(std::span<const float> g, Rng& rng,
+                           std::size_t block) {
   const std::size_t block_size = block == 0 ? g.size() : block;
   BitVector bits(g.size());
   auto words = bits.words();
@@ -49,7 +110,6 @@ BitVector ssdm_pack(std::span<const float> g, Rng& rng, std::size_t block) {
     const std::size_t len = std::min(block_size, g.size() - begin);
     const float norm = l2_norm(g.subspan(begin, len));
     if (norm == 0.0f) {
-      // Degenerate block: deterministic +1, per the sign convention.
       for (std::size_t i = begin; i < begin + len; ++i) {
         words[i / 64] |= std::uint64_t{1} << (i % 64);
       }

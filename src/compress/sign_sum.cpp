@@ -1,8 +1,10 @@
 #include "compress/sign_sum.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "compress/elias.hpp"
+#include "compress/kernels.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
@@ -15,7 +17,20 @@ SignSum SignSum::from_signs(const BitVector& bits) {
   return sum;
 }
 
+void SignSum::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  contributions_ = 0;
+}
+
 void SignSum::accumulate(const BitVector& bits) {
+  MARSIT_CHECK(bits.size() == values_.size())
+      << "sign-sum extent " << values_.size() << " vs bits " << bits.size();
+  kernels::accumulate_counts_words(bits.words(),
+                                   {values_.data(), values_.size()});
+  ++contributions_;
+}
+
+void SignSum::accumulate_scalar(const BitVector& bits) {
   MARSIT_CHECK(bits.size() == values_.size())
       << "sign-sum extent " << values_.size() << " vs bits " << bits.size();
   auto words = bits.words();
@@ -36,6 +51,12 @@ void SignSum::merge(const SignSum& other) {
 }
 
 BitVector SignSum::majority() const {
+  BitVector bits(values_.size());
+  kernels::majority_words({values_.data(), values_.size()}, bits.words());
+  return bits;
+}
+
+BitVector SignSum::majority_scalar() const {
   BitVector bits(values_.size());
   auto words = bits.words();
   for (std::size_t i = 0; i < values_.size(); ++i) {

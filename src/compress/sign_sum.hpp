@@ -8,6 +8,12 @@
 // single-hop PS and that Marsit's ⊙ operator eliminates.  An optional
 // Elias-γ recoding (see elias.hpp) compacts the wire image, mirroring the
 // paper's use of Elias coding for the baselines.
+//
+// accumulate() and majority() run the word-parallel kernels from
+// compress/kernels.hpp (64 elements per packed word, branch-free); the
+// `*_scalar` twins are the original loops, kept as bit-exactness oracles.
+// merge() and mean_into() are plain contiguous element-wise loops that the
+// compiler already vectorizes — there is no packed-bit structure to exploit.
 #pragma once
 
 #include <cstddef>
@@ -38,8 +44,28 @@ class SignSum {
     return {values_.data(), values_.size()};
   }
 
+  /// Mutable view of the per-element sums — the sharded aggregator writes
+  /// disjoint chunks of this span concurrently, then records the
+  /// contribution count once via set_contributions().
+  std::span<std::int32_t> values_mut() {
+    return {values_.data(), values_.size()};
+  }
+
+  /// Sets the contribution count directly (sharded aggregation accumulates
+  /// chunks without going through accumulate()).
+  void set_contributions(std::size_t contributions) {
+    contributions_ = contributions;
+  }
+
+  /// Zeroes every sum and the contribution count, keeping the extent —
+  /// round-to-round reuse without reallocation.
+  void reset();
+
   /// Adds another worker's sign bits.
   void accumulate(const BitVector& bits);
+
+  /// Scalar reference for accumulate (bit-identical).
+  void accumulate_scalar(const BitVector& bits);
 
   /// Adds another sign-sum (segment merge in torus reduction).
   void merge(const SignSum& other);
@@ -47,6 +73,9 @@ class SignSum {
   /// Majority decision per element: +1 when the sum is >= 0 (ties to +1,
   /// matching the pack_signs convention), encoded as bits.
   BitVector majority() const;
+
+  /// Scalar reference for majority (bit-identical).
+  BitVector majority_scalar() const;
 
   /// Mean contribution per element: value_i / contributions.
   void mean_into(std::span<float> out) const;

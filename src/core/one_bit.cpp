@@ -4,29 +4,39 @@
 
 namespace marsit {
 
-BitVector one_bit_combine(const BitVector& a, std::size_t weight_a,
+void one_bit_combine_words(std::span<std::uint64_t> a, std::size_t weight_a,
+                           std::span<const std::uint64_t> b,
+                           std::size_t weight_b, Rng& rng) {
+  MARSIT_CHECK(a.size() == b.size())
+      << "one_bit_combine word spans " << a.size() << " vs " << b.size();
+  MARSIT_CHECK(weight_a > 0 && weight_b > 0)
+      << "aggregate weights must be positive";
+  const double p_take_a = static_cast<double>(weight_a) /
+                          static_cast<double>(weight_a + weight_b);
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    const std::uint64_t wa = a[w];
+    const std::uint64_t wb = b[w];
+    const std::uint64_t v = rng.bernoulli_word(p_take_a);
+    const std::uint64_t chosen = (wa & v) | (wb & ~v);
+    a[w] = (wa & wb) | ((wa ^ wb) & chosen);
+  }
+}
+
+void one_bit_combine_into(BitVector& a, std::size_t weight_a,
                           const BitVector& b, std::size_t weight_b,
                           Rng& rng) {
   MARSIT_CHECK(a.size() == b.size())
       << "one_bit_combine extents " << a.size() << " vs " << b.size();
-  MARSIT_CHECK(weight_a > 0 && weight_b > 0)
-      << "aggregate weights must be positive";
-
-  const double p_take_a = static_cast<double>(weight_a) /
-                          static_cast<double>(weight_a + weight_b);
-  BitVector result(a.size());
-  auto ra = a.words();
-  auto rb = b.words();
-  auto out = result.words();
-  for (std::size_t w = 0; w < out.size(); ++w) {
-    const std::uint64_t wa = ra[w];
-    const std::uint64_t wb = rb[w];
-    const std::uint64_t v = rng.bernoulli_word(p_take_a);
-    const std::uint64_t chosen = (wa & v) | (wb & ~v);
-    out[w] = (wa & wb) | ((wa ^ wb) & chosen);
-  }
+  one_bit_combine_words(a.words(), weight_a, b.words(), weight_b, rng);
   // Tail bits beyond size() stay zero because both operands keep them zero
   // and (0&0)|((0^0)&x) == 0.
+}
+
+BitVector one_bit_combine(const BitVector& a, std::size_t weight_a,
+                          const BitVector& b, std::size_t weight_b,
+                          Rng& rng) {
+  BitVector result = a;
+  one_bit_combine_into(result, weight_a, b, weight_b, rng);
   return result;
 }
 
@@ -34,9 +44,17 @@ BitVector one_bit_fold(const std::vector<BitVector>& signs, Rng& rng) {
   MARSIT_CHECK(!signs.empty()) << "one_bit_fold over zero workers";
   BitVector aggregate = signs.front();
   for (std::size_t m = 1; m < signs.size(); ++m) {
-    aggregate = one_bit_combine(aggregate, m, signs[m], 1, rng);
+    one_bit_combine_into(aggregate, m, signs[m], 1, rng);
   }
   return aggregate;
+}
+
+void one_bit_fold_into(std::vector<BitVector>& signs, Rng& rng) {
+  MARSIT_CHECK(!signs.empty()) << "one_bit_fold over zero workers";
+  BitVector& aggregate = signs.front();
+  for (std::size_t m = 1; m < signs.size(); ++m) {
+    one_bit_combine_into(aggregate, m, signs[m], 1, rng);
+  }
 }
 
 }  // namespace marsit

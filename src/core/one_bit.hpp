@@ -21,14 +21,35 @@
 // after folding all M workers the bit is 1 with probability exactly
 // (#workers whose sign is +1)/M, so mapping bits to ±1 gives an unbiased
 // one-bit estimate of the mean sign — with zero bit-width growth.
+//
+// The `*_words` / `*_into` variants combine **in place** (a ⊙= b): the
+// RAR/TAR/tree reduction chains in core/sync_strategy.cpp fold M workers
+// without allocating a fresh BitVector per hop, and the word-span form lets
+// the sharded pipeline fold one word-aligned chunk at a time.  All variants
+// consume rng identically (one exact Bernoulli word per 64 elements), so
+// in-place and allocating folds are bit-identical at equal seeds.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
 
 #include "compress/bit_vector.hpp"
 #include "util/rng.hpp"
 
 namespace marsit {
+
+/// In-place word-span ⊙: a ⊙= b over matching word spans.  Tail bits stay
+/// zero when both operands keep them zero ((0&0)|((0^0)&x) == 0).
+void one_bit_combine_words(std::span<std::uint64_t> a, std::size_t weight_a,
+                           std::span<const std::uint64_t> b,
+                           std::size_t weight_b, Rng& rng);
+
+/// In-place ⊙ on whole BitVectors: a becomes the combined aggregate (weight
+/// weight_a + weight_b).  Extents must match; weights must be positive.
+void one_bit_combine_into(BitVector& a, std::size_t weight_a,
+                          const BitVector& b, std::size_t weight_b, Rng& rng);
 
 /// Combines two weighted sign aggregates; returns the new aggregate (weight
 /// weight_a + weight_b).  Extents must match; weights must be positive.
@@ -40,5 +61,10 @@ BitVector one_bit_combine(const BitVector& a, std::size_t weight_a,
 /// returns the final one-bit aggregate.  Equivalent to repeated
 /// one_bit_combine with weight_b = 1.
 BitVector one_bit_fold(const std::vector<BitVector>& signs, Rng& rng);
+
+/// In-place fold: accumulates signs[1..] into signs.front() in chain order
+/// with zero per-hop allocations; the result lives in signs.front().
+/// Bit-identical to one_bit_fold at equal seeds.
+void one_bit_fold_into(std::vector<BitVector>& signs, Rng& rng);
 
 }  // namespace marsit

@@ -1,9 +1,13 @@
 #include "core/sync_strategy.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "compress/kernels.hpp"
 #include "compress/sign_codec.hpp"
 #include "core/one_bit.hpp"
+#include "parallel/shard.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -35,6 +39,10 @@ std::size_t network_nodes(const SyncConfig& config) {
   return config.paradigm == MarParadigm::kParameterServer
              ? config.num_workers + 1
              : config.num_workers;
+}
+
+ThreadPool& strategy_pool(const SyncConfig& config) {
+  return config.pool != nullptr ? *config.pool : global_thread_pool();
 }
 
 }  // namespace
@@ -111,8 +119,59 @@ SyncStepResult PsgdSync::do_synchronize(const WorkerSpans& inputs,
 
 namespace {
 
-/// Runs a sign-sum aggregation and builds the matching wire format,
-/// refreshing the Elias size cache when due.
+/// Per-chunk rng stream of a sharded round.  Chunk 0 continues the round
+/// stream itself — a payload that fits in one chunk therefore consumes rng
+/// exactly like the original serial implementation (bit-identical outputs) —
+/// and later chunks split off independent derived streams.
+Rng chunk_rng(std::uint64_t round_seed, std::size_t chunk_index) {
+  return Rng(chunk_index == 0 ? round_seed
+                              : derive_seed(round_seed, chunk_index));
+}
+
+bool elias_refresh_due(const SyncConfig& config, std::size_t round,
+                       const std::vector<double>& elias_cache) {
+  return config.use_elias &&
+         (elias_cache.empty() ||
+          (config.elias_refresh_interval > 0 &&
+           round % config.elias_refresh_interval == 0));
+}
+
+/// The wire format (and headline bits/element) of a sign-sum round, from the
+/// configured encoding and the cached Elias measurements.
+struct SignSumWireInfo {
+  WireFormat wire;
+  double bits_per_element = 0.0;
+};
+
+SignSumWireInfo sign_sum_wire_info(const SyncConfig& config,
+                                   const std::vector<double>& elias_cache,
+                                   std::size_t scalars_per_message) {
+  SignSumWireInfo info;
+  if (config.use_elias) {
+    // Copy the cache into the closure: the wire format must stay valid and
+    // self-contained for the duration of the timing pass.
+    std::vector<double> cache = elias_cache;
+    info.wire = sign_sum_elias_wire(
+        config.cost_model, [cache](std::size_t contributions) {
+          if (cache.empty()) {
+            return 2.0;  // cold-start fallback, replaced on first refresh
+          }
+          const std::size_t index =
+              std::min(contributions, cache.size()) - 1;
+          return cache[index];
+        });
+    info.bits_per_element = elias_cache.empty() ? 2.0 : elias_cache.back();
+  } else {
+    info.wire = sign_sum_wire(config.cost_model, scalars_per_message);
+    info.bits_per_element = static_cast<double>(
+        sign_sum_bits_per_element(config.num_workers));
+  }
+  return info;
+}
+
+/// Runs a (serial) sign-sum aggregation and builds the matching wire format,
+/// refreshing the Elias size cache when due.  Used by EF-signSGD, whose
+/// per-worker error-feedback loop materializes the sign vectors anyway.
 struct SignSumRound {
   SignSum sum;
   WireFormat wire;
@@ -123,48 +182,85 @@ SignSumRound run_sign_sum_round(const std::vector<BitVector>& signs,
                                 const SyncConfig& config, std::size_t round,
                                 std::vector<double>& elias_cache,
                                 std::size_t scalars_per_message) {
-  const bool refresh =
-      config.use_elias &&
-      (elias_cache.empty() ||
-       (config.elias_refresh_interval > 0 &&
-        round % config.elias_refresh_interval == 0));
+  const bool refresh = elias_refresh_due(config, round, elias_cache);
   SignSumAggregate aggregate = aggregate_sign_sum(signs, refresh);
   if (refresh) {
     elias_cache = aggregate.elias_bits_per_element;
   }
-
   SignSumRound result;
   result.sum = std::move(aggregate.sum);
-  if (config.use_elias) {
-    // Copy the cache into the closure: the wire format must stay valid and
-    // self-contained for the duration of the timing pass.
-    std::vector<double> cache = elias_cache;
-    result.wire = sign_sum_elias_wire(
-        config.cost_model, [cache](std::size_t contributions) {
-          if (cache.empty()) {
-            return 2.0;  // cold-start fallback, replaced on first refresh
-          }
-          const std::size_t index =
-              std::min(contributions, cache.size()) - 1;
-          return cache[index];
-        });
-    result.bits_per_element =
-        elias_cache.empty() ? 2.0 : elias_cache.back();
-  } else {
-    result.wire = sign_sum_wire(config.cost_model, scalars_per_message);
-    result.bits_per_element = static_cast<double>(
-        sign_sum_bits_per_element(config.num_workers));
-  }
+  SignSumWireInfo info =
+      sign_sum_wire_info(config, elias_cache, scalars_per_message);
+  result.wire = std::move(info.wire);
+  result.bits_per_element = info.bits_per_element;
   return result;
 }
 
-std::vector<BitVector> pack_all_signs(const WorkerSpans& inputs) {
-  std::vector<BitVector> signs;
-  signs.reserve(inputs.size());
-  for (const auto& in : inputs) {
-    signs.push_back(pack_signs(in));
+/// Geometry + knobs of one sharded majority round (signSGD-MV, SSDM-MAR,
+/// SSDM-PS): every chunk packs all workers, accumulates the sign-sum,
+/// majority-votes and unpacks — chunk-locally, with its own rng stream.
+struct MajorityPipeline {
+  float eta_s = 0.0f;
+  /// false → deterministic signs (rng untouched); true → SSDM stochastic
+  /// signs with block-local norms.
+  bool stochastic = false;
+  std::size_t ssdm_block = 0;
+  std::uint64_t round_seed = 0;
+  ThreadPool* pool = nullptr;
+  std::size_t chunk_elements = 0;
+};
+
+/// out = eta_s · sign(Σ_m pack(u_m)), sharded over word-aligned chunks.
+/// `sum` receives the full sign-sum (sized by the caller).  When `signs_out`
+/// is non-null the per-worker packed vectors are also materialized there
+/// (Elias refresh rounds measure their incremental wire sizes); packing
+/// consumes rng identically either way, so the round's output does not
+/// depend on whether a refresh happened.
+void sharded_majority_sync(const WorkerSpans& inputs, SignSum& sum,
+                           std::vector<BitVector>* signs_out,
+                           std::span<float> out,
+                           const MajorityPipeline& cfg) {
+  const std::size_t d = out.size();
+  const std::size_t m = inputs.size();
+  const ShardPlan plan(d, cfg.chunk_elements);
+  MARSIT_CHECK(!cfg.stochastic || cfg.ssdm_block > 0)
+      << "sharded stochastic packing needs block-local norms";
+  MARSIT_CHECK(!cfg.stochastic ||
+               plan.chunk_elements() % cfg.ssdm_block == 0)
+      << "shard chunk " << plan.chunk_elements()
+      << " must be a multiple of the SSDM block " << cfg.ssdm_block;
+  if (signs_out != nullptr &&
+      (signs_out->empty() || signs_out->front().size() != d)) {
+    signs_out->assign(m, BitVector(d));
   }
-  return signs;
+  parallel_for(*cfg.pool, plan.num_chunks(), [&](std::size_t c) {
+    const Shard shard = plan.chunk(c);
+    const std::size_t n = shard.size();
+    const std::size_t w0 = shard.word_begin();
+    const std::size_t nw = shard.num_words();
+    auto values = sum.values_mut().subspan(shard.begin, n);
+    std::fill(values.begin(), values.end(), 0);
+    Rng rng = chunk_rng(cfg.round_seed, c);
+    std::vector<std::uint64_t> scratch(nw);
+    const std::span<std::uint64_t> scratch_span{scratch.data(),
+                                                scratch.size()};
+    for (std::size_t w = 0; w < m; ++w) {
+      const std::span<std::uint64_t> words =
+          signs_out != nullptr ? (*signs_out)[w].words().subspan(w0, nw)
+                               : scratch_span;
+      if (cfg.stochastic) {
+        ssdm_pack_words(inputs[w].subspan(shard.begin, n), rng,
+                        cfg.ssdm_block, words);
+      } else {
+        kernels::pack_signs_words(inputs[w].subspan(shard.begin, n), words);
+      }
+      kernels::accumulate_counts_words(words, values);
+    }
+    kernels::majority_words(values, scratch_span);
+    kernels::unpack_signs_words(scratch_span, cfg.eta_s,
+                                out.subspan(shard.begin, n));
+  });
+  sum.set_contributions(m);
 }
 
 }  // namespace
@@ -182,14 +278,27 @@ std::string SignSgdMvSync::name() const {
 
 SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
                                              std::span<float> out) {
-  const std::vector<BitVector> signs = pack_all_signs(inputs);
-  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
-                                               cached_elias_bpe_, 0);
-  unpack_signs(round_data.sum.majority(), eta_s_, out);
+  const std::size_t d = out.size();
+  if (sum_.size() != d) {
+    sum_ = SignSum(d);
+  }
+  const bool refresh = elias_refresh_due(config_, round_, cached_elias_bpe_);
+  MajorityPipeline pipeline;
+  pipeline.eta_s = eta_s_;
+  pipeline.pool = &strategy_pool(config_);
+  pipeline.chunk_elements = config_.shard_chunk_elements;
+  sharded_majority_sync(inputs, sum_, refresh ? &signs_ : nullptr, out,
+                        pipeline);
+  if (refresh) {
+    cached_elias_bpe_ =
+        aggregate_sign_sum(signs_, true).elias_bits_per_element;
+  }
+  const SignSumWireInfo info =
+      sign_sum_wire_info(config_, cached_elias_bpe_, 0);
 
   SyncStepResult result;
-  result.timing = mar_timing(out.size(), round_data.wire);
-  result.bits_per_element = round_data.bits_per_element;
+  result.timing = mar_timing(d, info.wire);
+  result.bits_per_element = info.bits_per_element;
   return result;
 }
 
@@ -250,20 +359,30 @@ std::string SsdmMarSync::name() const {
 
 SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
                                            std::span<float> out) {
-  Rng rng = round_rng();
-  std::vector<BitVector> signs;
-  signs.reserve(inputs.size());
-  for (const auto& in : inputs) {
-    signs.push_back(ssdm_pack(in, rng, kSsdmBlock));
+  const std::size_t d = out.size();
+  if (sum_.size() != d) {
+    sum_ = SignSum(d);
   }
-
-  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
-                                               cached_elias_bpe_, 0);
-  unpack_signs(round_data.sum.majority(), eta_s_, out);
+  const bool refresh = elias_refresh_due(config_, round_, cached_elias_bpe_);
+  MajorityPipeline pipeline;
+  pipeline.eta_s = eta_s_;
+  pipeline.stochastic = true;
+  pipeline.ssdm_block = kSsdmBlock;
+  pipeline.round_seed = derive_seed(config_.seed, round_);
+  pipeline.pool = &strategy_pool(config_);
+  pipeline.chunk_elements = config_.shard_chunk_elements;
+  sharded_majority_sync(inputs, sum_, refresh ? &signs_ : nullptr, out,
+                        pipeline);
+  if (refresh) {
+    cached_elias_bpe_ =
+        aggregate_sign_sum(signs_, true).elias_bits_per_element;
+  }
+  const SignSumWireInfo info =
+      sign_sum_wire_info(config_, cached_elias_bpe_, 0);
 
   SyncStepResult result;
-  result.timing = mar_timing(out.size(), round_data.wire);
-  result.bits_per_element = round_data.bits_per_element;
+  result.timing = mar_timing(d, info.wire);
+  result.bits_per_element = info.bits_per_element;
   return result;
 }
 
@@ -280,16 +399,20 @@ std::string SsdmPsSync::name() const { return "SSDM-PS"; }
 
 SyncStepResult SsdmPsSync::do_synchronize(const WorkerSpans& inputs,
                                           std::span<float> out) {
-  Rng rng = round_rng();
   // Uplink: each worker's stochastic signs; server majority-votes them and
   // broadcasts the one-bit decision.
-  std::vector<BitVector> signs;
-  signs.reserve(inputs.size());
-  for (const auto& in : inputs) {
-    signs.push_back(ssdm_pack(in, rng, kSsdmBlock));
+  const std::size_t d = out.size();
+  if (sum_.size() != d) {
+    sum_ = SignSum(d);
   }
-  const SignSumAggregate aggregate = aggregate_sign_sum(signs);
-  unpack_signs(aggregate.sum.majority(), eta_s_, out);
+  MajorityPipeline pipeline;
+  pipeline.eta_s = eta_s_;
+  pipeline.stochastic = true;
+  pipeline.ssdm_block = kSsdmBlock;
+  pipeline.round_seed = derive_seed(config_.seed, round_);
+  pipeline.pool = &strategy_pool(config_);
+  pipeline.chunk_elements = config_.shard_chunk_elements;
+  sharded_majority_sync(inputs, sum_, nullptr, out, pipeline);
 
   WireFormat wire;
   wire.reduce_bits = [](std::size_t elements, std::size_t) {
@@ -306,7 +429,7 @@ SyncStepResult SsdmPsSync::do_synchronize(const WorkerSpans& inputs,
       1.0 / config_.cost_model.sign_unpack_rate;
 
   SyncStepResult result;
-  result.timing = mar_timing(out.size(), wire);
+  result.timing = mar_timing(d, wire);
   result.bits_per_element = 1.0;
   return result;
 }
@@ -372,44 +495,49 @@ void MarsitSync::mean_compensation_into(std::span<float> out) const {
   scale(out, 1.0f / static_cast<float>(compensation_.size()));
 }
 
-BitVector MarsitSync::fold_signs(const std::vector<BitVector>& signs,
-                                 Rng& rng) const {
+void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
+                                  std::size_t word_begin,
+                                  std::size_t num_words, Rng& rng) const {
+  const auto words_of = [&](std::size_t i) {
+    return signs[i].words().subspan(word_begin, num_words);
+  };
   if (config_.paradigm == MarParadigm::kTree) {
     // Binomial-tree reduction: level-l merges combine aggregates of equal
     // weight 2^l (plus a possibly lighter tail aggregate).
-    std::vector<BitVector> nodes = signs;
-    std::vector<std::size_t> weights(nodes.size(), 1);
-    for (std::size_t stride = 1; stride < nodes.size(); stride *= 2) {
-      for (std::size_t i = 0; i + stride < nodes.size(); i += 2 * stride) {
-        nodes[i] = one_bit_combine(nodes[i], weights[i], nodes[i + stride],
-                                   weights[i + stride], rng);
+    const std::size_t count = signs.size();
+    std::vector<std::size_t> weights(count, 1);
+    for (std::size_t stride = 1; stride < count; stride *= 2) {
+      for (std::size_t i = 0; i + stride < count; i += 2 * stride) {
+        one_bit_combine_words(words_of(i), weights[i], words_of(i + stride),
+                              weights[i + stride], rng);
         weights[i] += weights[i + stride];
       }
     }
-    return nodes.front();
+    return;
   }
   if (config_.paradigm == MarParadigm::kTorus2d) {
     // Row folds (weights 1..cols within each row), then weighted column
-    // merges of whole-row aggregates — the torus reduction structure.
+    // merges of whole-row aggregates — the torus reduction structure.  The
+    // row-r aggregate accumulates in signs[r·cols]; columns merge into
+    // signs[0].
     const std::size_t rows = config_.torus_rows;
     const std::size_t cols = config_.torus_cols;
-    BitVector aggregate;
     for (std::size_t r = 0; r < rows; ++r) {
-      BitVector row_aggregate = signs[r * cols];
       for (std::size_t c = 1; c < cols; ++c) {
-        row_aggregate =
-            one_bit_combine(row_aggregate, c, signs[r * cols + c], 1, rng);
+        one_bit_combine_words(words_of(r * cols), c, words_of(r * cols + c),
+                              1, rng);
       }
-      if (r == 0) {
-        aggregate = std::move(row_aggregate);
-      } else {
-        aggregate =
-            one_bit_combine(aggregate, r * cols, row_aggregate, cols, rng);
+      if (r > 0) {
+        one_bit_combine_words(words_of(0), r * cols, words_of(r * cols),
+                              cols, rng);
       }
     }
-    return aggregate;
+    return;
   }
-  return one_bit_fold(signs, rng);
+  // Ring: sequential chain fold into signs[0].
+  for (std::size_t m = 1; m < signs.size(); ++m) {
+    one_bit_combine_words(words_of(0), m, words_of(m), 1, rng);
+  }
 }
 
 SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
@@ -421,14 +549,8 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
   }
   MARSIT_CHECK(compensation_.front().size() == d)
       << "gradient dimension changed between rounds";
-
-  // Line 1 of Algorithm 1: fold the compensation into the update.
-  std::vector<Tensor> adjusted(m, Tensor(d));
-  WorkerSpans adjusted_spans;
-  adjusted_spans.reserve(m);
-  for (std::size_t w = 0; w < m; ++w) {
-    add(inputs[w], compensation_[w].span(), adjusted[w].span());
-    adjusted_spans.push_back(adjusted[w].span());
+  if (adjusted_.empty() || adjusted_.front().size() != d) {
+    adjusted_.assign(m, Tensor(d));
   }
 
   SyncStepResult result;
@@ -437,7 +559,13 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
       round_ % options_.full_precision_period == 0;
 
   if (full_precision) {
-    // Lines 12–13: exact mean, compensation reset.
+    // Lines 12–13: exact mean of u_m + c_m, compensation reset.
+    WorkerSpans adjusted_spans;
+    adjusted_spans.reserve(m);
+    for (std::size_t w = 0; w < m; ++w) {
+      add(inputs[w], compensation_[w].span(), adjusted_[w].span());
+      adjusted_spans.push_back(adjusted_[w].span());
+    }
     aggregate_mean(adjusted_spans, out);
     if (options_.full_precision_max_norm > 0.0f) {
       const float norm = l2_norm(out);
@@ -454,24 +582,45 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
     return result;
   }
 
-  // Lines 4–8: one-bit synchronization with the ⊙ operator.
-  Rng rng = round_rng();
-  std::vector<BitVector> signs;
-  signs.reserve(m);
-  for (std::size_t w = 0; w < m; ++w) {
-    signs.push_back(pack_signs(adjusted_spans[w]));
+  // One-bit round, sharded over word-aligned chunks: each chunk runs the
+  // whole of Algorithm 1's lines 1 and 4–10 — compensation fold-in, sign
+  // packing, the ⊙ reduction, unpacking, and the compensation update —
+  // chunk-locally, with an rng stream derived from (seed, round, chunk) so
+  // the result is bit-identical for any pool size.
+  if (signs_.empty() || signs_.front().size() != d) {
+    signs_.assign(m, BitVector(d));
   }
-  const BitVector aggregate = fold_signs(signs, rng);
-
-  // Line 9: g_t = eta_s · sign-vector.
-  unpack_signs(aggregate, options_.eta_s, out);
-
-  // Line 10: c_{t+1}^{(m)} = g_t^{(m)} − g_t.
-  if (options_.use_compensation) {
+  const std::uint64_t round_seed = derive_seed(config_.seed, round_);
+  const ShardPlan plan(d, config_.shard_chunk_elements);
+  parallel_for(strategy_pool(config_), plan.num_chunks(),
+               [&](std::size_t c) {
+    const Shard shard = plan.chunk(c);
+    const std::size_t n = shard.size();
+    const std::size_t w0 = shard.word_begin();
+    const std::size_t nw = shard.num_words();
+    Rng rng = chunk_rng(round_seed, c);
+    const auto out_chunk = out.subspan(shard.begin, n);
     for (std::size_t w = 0; w < m; ++w) {
-      sub(adjusted_spans[w], out, compensation_[w].span());
+      // Line 1 of Algorithm 1: fold the compensation into the update.
+      const auto adjusted_chunk = adjusted_[w].span().subspan(shard.begin, n);
+      add(inputs[w].subspan(shard.begin, n),
+          compensation_[w].span().subspan(shard.begin, n), adjusted_chunk);
+      kernels::pack_signs_words(adjusted_chunk,
+                                signs_[w].words().subspan(w0, nw));
     }
-  }
+    // Lines 4–8: the ⊙ reduction, in place over this chunk's words.
+    fold_signs_words(signs_, w0, nw, rng);
+    // Line 9: g_t = eta_s · sign-vector.
+    kernels::unpack_signs_words(signs_.front().words().subspan(w0, nw),
+                                options_.eta_s, out_chunk);
+    // Line 10: c_{t+1}^{(m)} = g_t^{(m)} − g_t.
+    if (options_.use_compensation) {
+      for (std::size_t w = 0; w < m; ++w) {
+        sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
+            compensation_[w].span().subspan(shard.begin, n));
+      }
+    }
+  });
 
   result.timing = mar_timing(d, marsit_wire(config_.cost_model));
   result.bits_per_element = 1.0;

@@ -27,6 +27,8 @@
 
 namespace marsit {
 
+class ThreadPool;
+
 /// Which synchronization fabric carries the update.  kTree is the paper's
 /// claimed extension target ("easily extended to ... tree all-reduce"): the
 /// weighted ⊙ operator folds binomial-tree merges exactly like torus ones.
@@ -48,6 +50,15 @@ struct SyncConfig {
   /// How often (rounds) the Elias wire image is re-measured from real data;
   /// between refreshes the cached per-contribution sizes are reused.
   std::size_t elias_refresh_interval = 50;
+  /// Pool carrying the sharded pack → ⊙/sign-sum → unpack pipeline;
+  /// nullptr uses global_thread_pool().  Results are bit-identical for any
+  /// pool size: the chunk grid and per-chunk RNG streams depend only on the
+  /// payload size and shard_chunk_elements (see parallel/shard.hpp).
+  ThreadPool* pool = nullptr;
+  /// Elements per sharded chunk (rounded up to whole 64-bit sign words).
+  /// Part of the deterministic geometry: changing it changes the per-chunk
+  /// RNG streams, so treat it as a tuning constant, not a runtime knob.
+  std::size_t shard_chunk_elements = 1 << 16;
 };
 
 struct SyncStepResult {
@@ -123,6 +134,8 @@ class SignSgdMvSync final : public SyncStrategy {
 
   float eta_s_;
   std::vector<double> cached_elias_bpe_;
+  SignSum sum_;                    // round-to-round sign-sum scratch
+  std::vector<BitVector> signs_;  // materialized only on Elias refresh rounds
 };
 
 /// EF-signSGD [30] extended to MAR: per-worker error feedback around the
@@ -156,6 +169,8 @@ class SsdmMarSync final : public SyncStrategy {
 
   float eta_s_;
   std::vector<double> cached_elias_bpe_;
+  SignSum sum_;                    // round-to-round sign-sum scratch
+  std::vector<BitVector> signs_;  // materialized only on Elias refresh rounds
 };
 
 /// SSDM under a parameter server (the single-hop home turf of signSGD
@@ -171,6 +186,7 @@ class SsdmPsSync final : public SyncStrategy {
                                 std::span<float> out) override;
 
   float eta_s_;
+  SignSum sum_;  // round-to-round sign-sum scratch
 };
 
 /// Cascading compression (paper §3.2): decompress-add-recompress at every
@@ -226,13 +242,21 @@ class MarsitSync final : public SyncStrategy {
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
                                 std::span<float> out) override;
 
-  /// Folds per-worker sign vectors with ⊙ following the configured
-  /// topology's reduction structure (sequential chain on the ring; row folds
-  /// then weighted column merges on the torus).
-  BitVector fold_signs(const std::vector<BitVector>& signs, Rng& rng) const;
+  /// Folds the word range [word_begin, word_begin + num_words) of the
+  /// workers' sign vectors with ⊙, following the configured topology's
+  /// reduction structure (sequential chain on the ring; row folds then
+  /// weighted column merges on the torus; level merges on the tree).
+  /// Mutates `signs` in place — they are per-round scratch — and leaves the
+  /// aggregate in signs.front().  The sharded pipeline calls this once per
+  /// chunk with that chunk's own rng stream.
+  void fold_signs_words(std::vector<BitVector>& signs,
+                        std::size_t word_begin, std::size_t num_words,
+                        Rng& rng) const;
 
   MarsitOptions options_;
   std::vector<Tensor> compensation_;  // per-worker c_t, lazily sized
+  std::vector<Tensor> adjusted_;      // u_m + c_m scratch, lazily sized
+  std::vector<BitVector> signs_;      // per-worker packed signs scratch
 };
 
 // --- factory ------------------------------------------------------------------

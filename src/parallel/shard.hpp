@@ -1,0 +1,63 @@
+// Fixed-geometry chunking for sharded vector pipelines.
+//
+// A ShardPlan splits [0, total) element indices into chunks whose boundaries
+// are multiples of a fixed alignment (64 — one packed sign word, see
+// compress/kernels.hpp), so each chunk owns whole words of every packed
+// BitVector it touches: concurrent chunks never share a word, hence no
+// atomics and no false sharing on the packed planes.
+//
+// The grid depends only on (total, chunk_hint) — never on the thread count —
+// which is what makes sharded synchronization deterministic: chunk c always
+// covers the same element range and always derives the same RNG stream
+// (derive_seed(round_seed, c)), whether it runs on 1 thread or 64.
+#pragma once
+
+#include <cstddef>
+
+namespace marsit {
+
+struct Shard {
+  std::size_t index = 0;
+  /// Element range [begin, end); begin is always a multiple of 64.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  /// First packed word of the chunk (= begin / 64).
+  std::size_t word_begin() const { return begin / 64; }
+  /// Number of packed words the chunk owns (= ⌈size/64⌉).
+  std::size_t num_words() const { return (size() + 63) / 64; }
+};
+
+class ShardPlan {
+ public:
+  /// Plans chunks of ~chunk_hint elements (rounded up to a multiple of 64,
+  /// minimum one word) over [0, total).
+  ShardPlan(std::size_t total, std::size_t chunk_hint)
+      : total_(total), chunk_((chunk_hint + 63) / 64 * 64) {
+    if (chunk_ == 0) {
+      chunk_ = 64;
+    }
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t chunk_elements() const { return chunk_; }
+
+  std::size_t num_chunks() const {
+    return total_ == 0 ? 0 : (total_ + chunk_ - 1) / chunk_;
+  }
+
+  Shard chunk(std::size_t index) const {
+    Shard shard;
+    shard.index = index;
+    shard.begin = index * chunk_;
+    shard.end = shard.begin + chunk_ < total_ ? shard.begin + chunk_ : total_;
+    return shard;
+  }
+
+ private:
+  std::size_t total_;
+  std::size_t chunk_;
+};
+
+}  // namespace marsit

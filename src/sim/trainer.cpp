@@ -51,6 +51,7 @@ DistributedTrainer::DistributedTrainer(
   }
   updates_.assign(m, Tensor(param_count_));
   grad_scratch_.assign(m, Tensor(param_count_));
+  dlogits_.resize(m);
   snapshots_.resize(m);
   batches_.resize(m);
   global_update_ = Tensor(param_count_);
@@ -82,7 +83,10 @@ void DistributedTrainer::worker_round(std::size_t worker, std::size_t round,
 
     model.zero_grads();
     const auto logits = model.forward(batch.inputs.span(), batch.size());
-    Tensor dlogits(logits.size());
+    Tensor& dlogits = dlogits_[worker];
+    if (dlogits.size() != logits.size()) {
+      dlogits = Tensor(logits.size());  // sized once; reused every step
+    }
     softmax_cross_entropy(logits, {batch.labels.data(), batch.labels.size()},
                           dataset_.num_classes(), dlogits.span());
     model.backward(dlogits.span(), batch.size());
@@ -154,14 +158,16 @@ TrainResult DistributedTrainer::train() {
   double matching_total = 0.0;
   float eta_l = config_.eta_l;
   Tensor exact_mean(param_count_);
+  // O(log n) decay lookup per round instead of a linear scan of the
+  // (unordered) configured list.
+  std::vector<std::size_t> decay_rounds = config_.lr_decay_rounds;
+  std::sort(decay_rounds.begin(), decay_rounds.end());
 
   cumulative_seconds_ = 0.0;
   cumulative_bits_ = 0.0;
 
   for (std::size_t t = 0; t < config_.rounds; ++t) {
-    if (std::find(config_.lr_decay_rounds.begin(),
-                  config_.lr_decay_rounds.end(),
-                  t) != config_.lr_decay_rounds.end()) {
+    if (std::binary_search(decay_rounds.begin(), decay_rounds.end(), t)) {
       eta_l *= config_.lr_decay_factor;
     }
 

@@ -127,6 +127,7 @@ class DistributedTrainer {
   std::vector<Tensor> updates_;     // per-worker u_m = η_l · direction
   std::vector<Batch> batches_;      // per-worker scratch
   std::vector<Tensor> grad_scratch_;
+  std::vector<Tensor> dlogits_;     // per-worker ∂L/∂logits scratch
   std::vector<Tensor> snapshots_;   // pre-round params (local_steps > 1)
   Tensor global_update_;
   std::size_t param_count_ = 0;

@@ -37,6 +37,17 @@ struct SignSumAggregate {
 SignSumAggregate aggregate_sign_sum(const std::vector<BitVector>& signs,
                                     bool record_elias_sizes = false);
 
+/// Measures the Elias-γ bits/element of the growing sign-sum at every
+/// contribution count 1..M without handing back an aggregate — the
+/// size-measurement half of aggregate_sign_sum, for callers whose sum was
+/// already computed elsewhere (the sharded majority pipeline).  When
+/// `final_sum` is non-null it must be the full M-contribution sum of
+/// `signs`; the last entry is then measured from it directly and the final
+/// accumulate is skipped (the sum is reused, not re-folded).  Entries are
+/// bit-identical to aggregate_sign_sum(signs, true).elias_bits_per_element.
+std::vector<double> measure_elias_bits_per_element(
+    const std::vector<BitVector>& signs, const SignSum* final_sum = nullptr);
+
 /// How a cascading hop decodes the incoming (norm, signs) message.
 enum class CascadeDecode {
   /// Appendix A's s₃ exactly: element = ±‖w‖₂.  Unbiased, but the decoded

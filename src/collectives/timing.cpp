@@ -18,6 +18,22 @@ double rate_to_seconds(double rate) {
   return 1.0 / rate;
 }
 
+/// Snapshot of the simulator's retransmission counters at schedule entry;
+/// the delta at exit is what this collective burned on lost attempts.
+struct RetransBaseline {
+  explicit RetransBaseline(const NetworkSim& net)
+      : bytes(net.retransmitted_bytes()), count(net.retransmissions()) {}
+
+  void record_into(CollectiveTiming& timing, const NetworkSim& net) const {
+    timing.retransmitted_wire_bits =
+        (net.retransmitted_bytes() - bytes) * 8.0;
+    timing.retransmissions = net.retransmissions() - count;
+  }
+
+  double bytes;
+  std::size_t count;
+};
+
 }  // namespace
 
 WireFormat full_precision_wire() {
@@ -127,6 +143,7 @@ CollectiveTiming ring_allreduce_timing(std::size_t num_workers, std::size_t d,
   const double seg = static_cast<double>(seg_len);
 
   CollectiveTiming timing;
+  const RetransBaseline retrans(net);
 
   // Reduce-scatter.  Segment `s` starts at worker (s+1) mod M and is folded
   // once per hop until it completes at worker s with M contributions.
@@ -175,6 +192,7 @@ CollectiveTiming ring_allreduce_timing(std::size_t num_workers, std::size_t d,
   timing.overlapped_compression_seconds_per_worker =
       wire.initial_pack_seconds_per_element * (dd - seg) +
       static_cast<double>(m - 1) * seg * wire.overlapped_seconds_per_element;
+  retrans.record_into(timing, net);
   return timing;
 }
 
@@ -193,6 +211,7 @@ CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
   const double seg_b = static_cast<double>(len_b);
 
   CollectiveTiming timing;
+  const RetransBaseline retrans(net);
 
   // Phase A: reduce-scatter along each row ring (cols segments of len_a).
   // ready_a[r][c]: when node (r,c)'s finished chunk c is available.
@@ -298,6 +317,7 @@ CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
   timing.overlapped_compression_seconds_per_worker =
       wire.initial_pack_seconds_per_element * (dd - seg_a) +
       hop_elems * wire.overlapped_seconds_per_element;
+  retrans.record_into(timing, net);
   return timing;
 }
 
@@ -314,6 +334,7 @@ CollectiveTiming ps_allreduce_timing(std::size_t num_workers, std::size_t d,
   const double dd = static_cast<double>(d);
 
   CollectiveTiming timing;
+  const RetransBaseline retrans(net);
 
   // Push: every worker sends its whole (single-contribution) payload; the
   // server ingress NIC serializes them.
@@ -351,6 +372,7 @@ CollectiveTiming ps_allreduce_timing(std::size_t num_workers, std::size_t d,
   timing.serial_compression_seconds_per_worker =
       wire.initial_pack_seconds_per_element * dd +
       wire.final_unpack_seconds_per_element * dd;
+  retrans.record_into(timing, net);
   return timing;
 }
 
@@ -364,6 +386,7 @@ CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
 
   const double dd = static_cast<double>(d);
   CollectiveTiming timing;
+  const RetransBaseline retrans(net);
 
   // ready[w]: when worker w's current aggregate is available;
   // weight[w]: how many workers that aggregate stands for.
@@ -418,6 +441,7 @@ CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
       wire.final_unpack_seconds_per_element * dd;
   timing.overlapped_compression_seconds_per_worker =
       static_cast<double>(levels) * dd * wire.overlapped_seconds_per_element;
+  retrans.record_into(timing, net);
   return timing;
 }
 

@@ -98,6 +98,11 @@ struct CollectiveTiming {
   /// Compression work hidden behind receives (Marsit's ⊙ combine) — NOT part
   /// of completion_seconds.
   double overlapped_compression_seconds_per_worker = 0.0;
+  /// Payload bits burned by lost attempts (fault injection): retransmitted
+  /// on top of total_wire_bits.  Zero without an attached FaultPlan.
+  double retransmitted_wire_bits = 0.0;
+  /// Lost-and-retried transmission attempts this collective.
+  std::size_t retransmissions = 0;
 
   /// Total per-worker compression seconds — the red bars of Figures 1a/5.
   double compression_seconds_per_worker() const {

@@ -58,6 +58,14 @@ SyncStrategy::SyncStrategy(SyncConfig config)
         << "torus " << config_.torus_rows << "x" << config_.torus_cols
         << " does not tile " << config_.num_workers << " workers";
   }
+  config_.fault_plan.validate();
+  // The plan lives inside config_, which is pinned for the strategy's
+  // lifetime (strategies are non-copyable).
+  net_.set_fault_plan(&config_.fault_plan);
+  active_.reserve(config_.num_workers);
+  for (std::size_t w = 0; w < config_.num_workers; ++w) {
+    active_.push_back(w);
+  }
 }
 
 SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
@@ -70,24 +78,65 @@ SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
     MARSIT_CHECK(in.size() == out.size())
         << "worker input extent " << in.size() << " vs output " << out.size();
   }
-  net_.reset();  // rounds are timed independently
+  net_.begin_round(round_);  // rounds are timed independently
+  if (config_.fault_plan.has_membership_faults()) {
+    active_.clear();
+    for (std::size_t w = 0; w < config_.num_workers; ++w) {
+      if (!config_.fault_plan.worker_absent(w, round_)) {
+        active_.push_back(w);
+      }
+    }
+    // Quorum: a reduction needs at least two members.  Re-admit the
+    // lowest-indexed absent workers (deterministic) rather than letting the
+    // fabric collapse.
+    for (std::size_t w = 0; active_.size() < 2 && w < config_.num_workers;
+         ++w) {
+      if (std::find(active_.begin(), active_.end(), w) == active_.end()) {
+        active_.insert(std::lower_bound(active_.begin(), active_.end(), w),
+                       w);
+      }
+    }
+  }
   SyncStepResult result = do_synchronize(inputs, out);
+  result.active_workers = active_.size();
   ++round_;
   return result;
 }
 
+const WorkerSpans& SyncStrategy::active_inputs(const WorkerSpans& inputs) {
+  if (!degraded_round()) {
+    return inputs;
+  }
+  active_scratch_.clear();
+  active_scratch_.reserve(active_.size());
+  for (std::size_t w : active_) {
+    active_scratch_.push_back(inputs[w]);
+  }
+  return active_scratch_;
+}
+
 CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
                                           const WireFormat& wire) {
+  const std::size_t m = active_.size();
   switch (config_.paradigm) {
     case MarParadigm::kRing:
-      return ring_allreduce_timing(config_.num_workers, d, wire, net_);
+      return ring_allreduce_timing(m, d, wire, net_);
     case MarParadigm::kTorus2d:
-      return torus_allreduce_timing(config_.torus_rows, config_.torus_cols, d,
-                                    wire, net_);
+      // A degraded torus re-forms as a smaller torus while the survivors
+      // still fill whole rows, else the round runs as a ring of survivors.
+      if (m == config_.num_workers) {
+        return torus_allreduce_timing(config_.torus_rows, config_.torus_cols,
+                                      d, wire, net_);
+      }
+      if (m % config_.torus_cols == 0 && m / config_.torus_cols >= 2) {
+        return torus_allreduce_timing(m / config_.torus_cols,
+                                      config_.torus_cols, d, wire, net_);
+      }
+      return ring_allreduce_timing(m, d, wire, net_);
     case MarParadigm::kParameterServer:
-      return ps_allreduce_timing(config_.num_workers, d, wire, net_);
+      return ps_allreduce_timing(m, d, wire, net_);
     case MarParadigm::kTree:
-      return tree_allreduce_timing(config_.num_workers, d, wire, net_);
+      return tree_allreduce_timing(m, d, wire, net_);
   }
   MARSIT_CHECK(false) << "unreachable paradigm";
   return {};
@@ -95,6 +144,19 @@ CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
 
 Rng SyncStrategy::round_rng() const {
   return Rng(derive_seed(config_.seed, round_));
+}
+
+double elias_cache_bits_per_element(const std::vector<double>& cache,
+                                    std::size_t contributions) {
+  if (cache.empty()) {
+    return 2.0;  // cold-start fallback, replaced on first refresh
+  }
+  // Clamp at both ends: contributions == 0 must not wrap to SIZE_MAX, and a
+  // membership larger than the (degraded-round) measurement reads the last
+  // entry.
+  const std::size_t clamped =
+      std::clamp<std::size_t>(contributions, 1, cache.size());
+  return cache[clamped - 1];
 }
 
 // --- PSGD ----------------------------------------------------------------
@@ -107,7 +169,9 @@ std::string PsgdSync::name() const {
 
 SyncStepResult PsgdSync::do_synchronize(const WorkerSpans& inputs,
                                         std::span<float> out) {
-  aggregate_mean(inputs, out);
+  // Mean over the survivors: dropping absent workers renormalizes the
+  // denominator automatically.
+  aggregate_mean(active_inputs(inputs), out);
   SyncStepResult result;
   result.timing = mar_timing(out.size(), full_precision_wire());
   result.full_precision = true;
@@ -145,7 +209,8 @@ struct SignSumWireInfo {
 
 SignSumWireInfo sign_sum_wire_info(const SyncConfig& config,
                                    const std::vector<double>& elias_cache,
-                                   std::size_t scalars_per_message) {
+                                   std::size_t scalars_per_message,
+                                   std::size_t contributing_workers) {
   SignSumWireInfo info;
   if (config.use_elias) {
     // Copy the cache into the closure: the wire format must stay valid and
@@ -153,18 +218,13 @@ SignSumWireInfo sign_sum_wire_info(const SyncConfig& config,
     std::vector<double> cache = elias_cache;
     info.wire = sign_sum_elias_wire(
         config.cost_model, [cache](std::size_t contributions) {
-          if (cache.empty()) {
-            return 2.0;  // cold-start fallback, replaced on first refresh
-          }
-          const std::size_t index =
-              std::min(contributions, cache.size()) - 1;
-          return cache[index];
+          return elias_cache_bits_per_element(cache, contributions);
         });
     info.bits_per_element = elias_cache.empty() ? 2.0 : elias_cache.back();
   } else {
     info.wire = sign_sum_wire(config.cost_model, scalars_per_message);
     info.bits_per_element = static_cast<double>(
-        sign_sum_bits_per_element(config.num_workers));
+        sign_sum_bits_per_element(contributing_workers));
   }
   return info;
 }
@@ -189,8 +249,8 @@ SignSumRound run_sign_sum_round(const std::vector<BitVector>& signs,
   }
   SignSumRound result;
   result.sum = std::move(aggregate.sum);
-  SignSumWireInfo info =
-      sign_sum_wire_info(config, elias_cache, scalars_per_message);
+  SignSumWireInfo info = sign_sum_wire_info(config, elias_cache,
+                                            scalars_per_message, signs.size());
   result.wire = std::move(info.wire);
   result.bits_per_element = info.bits_per_element;
   return result;
@@ -229,8 +289,11 @@ void sharded_majority_sync(const WorkerSpans& inputs, SignSum& sum,
                plan.chunk_elements() % cfg.ssdm_block == 0)
       << "shard chunk " << plan.chunk_elements()
       << " must be a multiple of the SSDM block " << cfg.ssdm_block;
+  // Reallocate on *either* geometry change: the dimension, or the worker
+  // count — degraded rounds shrink and re-grow M while d stays fixed, and a
+  // stale vector count would index out of bounds when M grows back.
   if (signs_out != nullptr &&
-      (signs_out->empty() || signs_out->front().size() != d)) {
+      (signs_out->size() != m || signs_out->front().size() != d)) {
     signs_out->assign(m, BitVector(d));
   }
   parallel_for(*cfg.pool, plan.num_chunks(), [&](std::size_t c) {
@@ -287,14 +350,16 @@ SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
   pipeline.eta_s = eta_s_;
   pipeline.pool = &strategy_pool(config_);
   pipeline.chunk_elements = config_.shard_chunk_elements;
-  sharded_majority_sync(inputs, sum_, refresh ? &signs_ : nullptr, out,
-                        pipeline);
+  // Majority-vote over the survivors; absent workers simply cast no vote.
+  sharded_majority_sync(active_inputs(inputs), sum_,
+                        refresh ? &signs_ : nullptr, out, pipeline);
   if (refresh) {
-    cached_elias_bpe_ =
-        aggregate_sign_sum(signs_, true).elias_bits_per_element;
+    // Size measurement only — the sign-sum itself was already computed by
+    // the sharded pipeline and is reused, not re-folded.
+    cached_elias_bpe_ = measure_elias_bits_per_element(signs_, &sum_);
   }
   const SignSumWireInfo info =
-      sign_sum_wire_info(config_, cached_elias_bpe_, 0);
+      sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
 
   SyncStepResult result;
   result.timing = mar_timing(d, info.wire);
@@ -316,29 +381,38 @@ SyncStepResult EfSignSgdSync::do_synchronize(const WorkerSpans& inputs,
   if (error_.empty()) {
     error_.assign(config_.num_workers, Tensor(d));
   }
+  if (scratch_p_.size() != d) {
+    scratch_p_.resize(d);
+    scratch_delta_.resize(d);
+  }
+  const std::span<float> p{scratch_p_.data(), d};
+  const std::span<float> delta{scratch_delta_.data(), d};
 
+  // Only the survivors compress and contribute; an absent worker's EF
+  // memory e_m is carried forward untouched and re-enters the feedback loop
+  // when the worker returns.
+  const std::vector<std::size_t>& active = active_workers();
   std::vector<BitVector> signs;
-  signs.reserve(inputs.size());
+  signs.reserve(active.size());
   double scale_sum = 0.0;
-  std::vector<float> p(d);
-  std::vector<float> delta(d);
-  for (std::size_t m = 0; m < inputs.size(); ++m) {
+  for (std::size_t w : active) {
     // p = u_m + e_m; compress to (scale, signs); e_m ← p − decode.
-    add(inputs[m], error_[m].span(), {p.data(), d});
-    const float scale = scaled_sign_scale({p.data(), d});
-    BitVector bits = pack_signs({p.data(), d});
-    unpack_signs(bits, scale, {delta.data(), d});
-    sub({p.data(), d}, {delta.data(), d}, error_[m].span());
+    add(inputs[w], error_[w].span(), p);
+    const float scale = scaled_sign_scale(p);
+    BitVector bits = pack_signs(p);
+    unpack_signs(bits, scale, delta);
+    sub(p, delta, error_[w].span());
     scale_sum += scale;
     signs.push_back(std::move(bits));
   }
 
-  // One float scale rides along per message (the running scale sum).
+  // One float scale rides along per message (the running scale sum).  The
+  // decoded mean renormalizes by the survivor count on degraded rounds.
   SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
                                                cached_elias_bpe_, 1);
   round_data.sum.mean_into(out);
-  scale(out, static_cast<float>(scale_sum / static_cast<double>(
-                                                inputs.size())));
+  scale(out, static_cast<float>(scale_sum /
+                                static_cast<double>(active.size())));
 
   SyncStepResult result;
   result.timing = mar_timing(d, round_data.wire);
@@ -371,14 +445,14 @@ SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
   pipeline.round_seed = derive_seed(config_.seed, round_);
   pipeline.pool = &strategy_pool(config_);
   pipeline.chunk_elements = config_.shard_chunk_elements;
-  sharded_majority_sync(inputs, sum_, refresh ? &signs_ : nullptr, out,
-                        pipeline);
+  sharded_majority_sync(active_inputs(inputs), sum_,
+                        refresh ? &signs_ : nullptr, out, pipeline);
   if (refresh) {
-    cached_elias_bpe_ =
-        aggregate_sign_sum(signs_, true).elias_bits_per_element;
+    // Size measurement only — the sharded pipeline's sum is reused.
+    cached_elias_bpe_ = measure_elias_bits_per_element(signs_, &sum_);
   }
   const SignSumWireInfo info =
-      sign_sum_wire_info(config_, cached_elias_bpe_, 0);
+      sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
 
   SyncStepResult result;
   result.timing = mar_timing(d, info.wire);
@@ -412,7 +486,7 @@ SyncStepResult SsdmPsSync::do_synchronize(const WorkerSpans& inputs,
   pipeline.round_seed = derive_seed(config_.seed, round_);
   pipeline.pool = &strategy_pool(config_);
   pipeline.chunk_elements = config_.shard_chunk_elements;
-  sharded_majority_sync(inputs, sum_, nullptr, out, pipeline);
+  sharded_majority_sync(active_inputs(inputs), sum_, nullptr, out, pipeline);
 
   WireFormat wire;
   wire.reduce_bits = [](std::size_t elements, std::size_t) {
@@ -446,7 +520,9 @@ std::string CascadingSync::name() const { return "Cascading-RAR"; }
 SyncStepResult CascadingSync::do_synchronize(const WorkerSpans& inputs,
                                              std::span<float> out) {
   Rng rng = round_rng();
-  cascading_aggregate(inputs, rng, out);
+  // The cascade chain re-forms over the survivors (its 1/M normalization
+  // follows the chain length).
+  cascading_aggregate(active_inputs(inputs), rng, out);
 
   SyncStepResult result;
   result.timing = mar_timing(out.size(), cascading_wire(config_.cost_model));
@@ -496,15 +572,15 @@ void MarsitSync::mean_compensation_into(std::span<float> out) const {
 }
 
 void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
-                                  std::size_t word_begin,
+                                  std::size_t count, std::size_t word_begin,
                                   std::size_t num_words, Rng& rng) const {
   const auto words_of = [&](std::size_t i) {
     return signs[i].words().subspan(word_begin, num_words);
   };
   if (config_.paradigm == MarParadigm::kTree) {
     // Binomial-tree reduction: level-l merges combine aggregates of equal
-    // weight 2^l (plus a possibly lighter tail aggregate).
-    const std::size_t count = signs.size();
+    // weight 2^l (plus a possibly lighter tail aggregate).  The structure
+    // is defined for any count, so a degraded tree just shrinks.
     std::vector<std::size_t> weights(count, 1);
     for (std::size_t stride = 1; stride < count; stride *= 2) {
       for (std::size_t i = 0; i + stride < count; i += 2 * stride) {
@@ -516,26 +592,33 @@ void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
     return;
   }
   if (config_.paradigm == MarParadigm::kTorus2d) {
-    // Row folds (weights 1..cols within each row), then weighted column
+    // Row folds (weights 1..len within each row), then weighted column
     // merges of whole-row aggregates — the torus reduction structure.  The
-    // row-r aggregate accumulates in signs[r·cols]; columns merge into
-    // signs[0].
-    const std::size_t rows = config_.torus_rows;
+    // row aggregate accumulates in the row's first vector; rows merge into
+    // signs[0] carrying their true accumulated weights, so a degraded round
+    // (count < rows·cols) re-forms as ragged rows of torus_cols survivors
+    // with the last row possibly short — the weighted ⊙ stays unbiased for
+    // any merge shape.  With full membership this is exactly the original
+    // rows×cols schedule.
     const std::size_t cols = config_.torus_cols;
-    for (std::size_t r = 0; r < rows; ++r) {
-      for (std::size_t c = 1; c < cols; ++c) {
-        one_bit_combine_words(words_of(r * cols), c, words_of(r * cols + c),
-                              1, rng);
+    std::size_t merged_weight = 0;
+    for (std::size_t base = 0; base < count; base += cols) {
+      const std::size_t len = std::min(cols, count - base);
+      for (std::size_t c = 1; c < len; ++c) {
+        one_bit_combine_words(words_of(base), c, words_of(base + c), 1, rng);
       }
-      if (r > 0) {
-        one_bit_combine_words(words_of(0), r * cols, words_of(r * cols),
-                              cols, rng);
+      if (base == 0) {
+        merged_weight = len;
+      } else {
+        one_bit_combine_words(words_of(0), merged_weight, words_of(base), len,
+                              rng);
+        merged_weight += len;
       }
     }
     return;
   }
   // Ring: sequential chain fold into signs[0].
-  for (std::size_t m = 1; m < signs.size(); ++m) {
+  for (std::size_t m = 1; m < count; ++m) {
     one_bit_combine_words(words_of(0), m, words_of(m), 1, rng);
   }
 }
@@ -558,11 +641,17 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
       options_.full_precision_period > 0 &&
       round_ % options_.full_precision_period == 0;
 
+  // On a degraded round only the survivors contribute; absent workers keep
+  // their compensation untouched, so their residual re-enters the aggregate
+  // when they return (Algorithm 1's line 1 still folds it in).
+  const auto& active = active_workers();
+  const std::size_t s = active.size();
+
   if (full_precision) {
     // Lines 12–13: exact mean of u_m + c_m, compensation reset.
     WorkerSpans adjusted_spans;
-    adjusted_spans.reserve(m);
-    for (std::size_t w = 0; w < m; ++w) {
+    adjusted_spans.reserve(s);
+    for (const std::size_t w : active) {
       add(inputs[w], compensation_[w].span(), adjusted_[w].span());
       adjusted_spans.push_back(adjusted_[w].span());
     }
@@ -573,8 +662,8 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
         scale(out, options_.full_precision_max_norm / norm);
       }
     }
-    for (auto& c : compensation_) {
-      c.zero();
+    for (const std::size_t w : active) {
+      compensation_[w].zero();
     }
     result.timing = mar_timing(d, full_precision_wire());
     result.full_precision = true;
@@ -586,7 +675,10 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
   // whole of Algorithm 1's lines 1 and 4–10 — compensation fold-in, sign
   // packing, the ⊙ reduction, unpacking, and the compensation update —
   // chunk-locally, with an rng stream derived from (seed, round, chunk) so
-  // the result is bit-identical for any pool size.
+  // the result is bit-identical for any pool size.  Survivors pack into
+  // signs_[0..s): the fold re-forms over them with the same rng stream a
+  // native s-worker run would consume, so a degraded M-worker ring matches
+  // an s-worker ring bit-for-bit.
   if (signs_.empty() || signs_.front().size() != d) {
     signs_.assign(m, BitVector(d));
   }
@@ -600,22 +692,23 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
     const std::size_t nw = shard.num_words();
     Rng rng = chunk_rng(round_seed, c);
     const auto out_chunk = out.subspan(shard.begin, n);
-    for (std::size_t w = 0; w < m; ++w) {
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t w = active[i];
       // Line 1 of Algorithm 1: fold the compensation into the update.
       const auto adjusted_chunk = adjusted_[w].span().subspan(shard.begin, n);
       add(inputs[w].subspan(shard.begin, n),
           compensation_[w].span().subspan(shard.begin, n), adjusted_chunk);
       kernels::pack_signs_words(adjusted_chunk,
-                                signs_[w].words().subspan(w0, nw));
+                                signs_[i].words().subspan(w0, nw));
     }
     // Lines 4–8: the ⊙ reduction, in place over this chunk's words.
-    fold_signs_words(signs_, w0, nw, rng);
+    fold_signs_words(signs_, s, w0, nw, rng);
     // Line 9: g_t = eta_s · sign-vector.
     kernels::unpack_signs_words(signs_.front().words().subspan(w0, nw),
                                 options_.eta_s, out_chunk);
     // Line 10: c_{t+1}^{(m)} = g_t^{(m)} − g_t.
     if (options_.use_compensation) {
-      for (std::size_t w = 0; w < m; ++w) {
+      for (const std::size_t w : active) {
         sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
             compensation_[w].span().subspan(shard.begin, n));
       }

@@ -21,6 +21,7 @@
 #include "collectives/aggregators.hpp"
 #include "collectives/timing.hpp"
 #include "net/cost_model.hpp"
+#include "net/fault_plan.hpp"
 #include "net/network_sim.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
@@ -59,6 +60,16 @@ struct SyncConfig {
   /// Part of the deterministic geometry: changing it changes the per-chunk
   /// RNG streams, so treat it as a tuning constant, not a runtime knob.
   std::size_t shard_chunk_elements = 1 << 16;
+  /// Fault injection (see net/fault_plan.hpp).  Link-level faults flow into
+  /// NetworkSim (retries, jitter, outages, stragglers inflate the timing);
+  /// membership faults mark workers absent for whole rounds, and every
+  /// strategy degrades gracefully: the reduction re-forms over the survivors
+  /// with correct ⊙ weights / majority thresholds / mean normalization,
+  /// while per-worker state (compensation, EF memory) of absent workers is
+  /// carried forward untouched.  The default (empty) plan takes exactly the
+  /// fault-free code paths: outputs and timings are bit-identical to a build
+  /// without the fault layer.
+  FaultPlan fault_plan;
 };
 
 struct SyncStepResult {
@@ -70,6 +81,9 @@ struct SyncStepResult {
   /// Figure 3 "Bits" column): 32 for full precision, 1 for one-bit rounds,
   /// ⌈log2(M+1)⌉+1-ish for sign-sums.
   double bits_per_element = 0.0;
+  /// Workers that contributed this round (== num_workers unless the fault
+  /// plan dropped some).
+  std::size_t active_workers = 0;
 };
 
 class SyncStrategy {
@@ -94,9 +108,28 @@ class SyncStrategy {
   virtual SyncStepResult do_synchronize(const WorkerSpans& inputs,
                                         std::span<float> out) = 0;
 
-  /// Timing of one MAR collective (ring or torus per config) for a
-  /// d-element payload in the given wire format.
+  /// Timing of one MAR collective for a d-element payload in the given wire
+  /// format, over this round's *surviving* membership: on degraded rounds
+  /// the schedule re-forms over active_workers().size() participants (a
+  /// torus that no longer tiles re-forms as a smaller torus when the
+  /// survivor count still fills whole rows, else as a ring).  Survivors are
+  /// renumbered densely onto nodes 0..S−1, so per-node fault attributes
+  /// follow re-formed fabric positions, not physical hosts.
   CollectiveTiming mar_timing(std::size_t d, const WireFormat& wire);
+
+  /// Original indices of the workers present this round, ascending.  Always
+  /// the full fleet when the fault plan has no membership faults; never
+  /// fewer than two (quorum: the lowest-indexed absent workers are
+  /// re-admitted rather than letting the fabric collapse).
+  const std::vector<std::size_t>& active_workers() const { return active_; }
+  bool degraded_round() const {
+    return active_.size() != config_.num_workers;
+  }
+
+  /// `inputs` filtered to the active workers.  Returns `inputs` itself on
+  /// full-membership rounds (zero-copy); on degraded rounds returns a
+  /// member scratch valid until the next call.
+  const WorkerSpans& active_inputs(const WorkerSpans& inputs);
 
   /// Fresh per-round RNG (derived from the config seed and round index) so
   /// strategies are reproducible independent of call interleaving.
@@ -105,7 +138,20 @@ class SyncStrategy {
   SyncConfig config_;
   NetworkSim net_;
   std::size_t round_ = 0;
+  std::vector<std::size_t> active_;  // this round's surviving worker indices
+  WorkerSpans active_scratch_;       // filtered-span scratch (degraded rounds)
 };
+
+/// Bits/element lookup into a measured per-contribution Elias size cache:
+/// cache[c-1] is the measurement at c contributions, clamped at both ends —
+/// c == 0 (an empty aggregate, possible when degraded schedules price a
+/// not-yet-started segment) reads the 1-contribution entry instead of
+/// underflowing, and c beyond the cache (membership grew after the cache
+/// was measured on a degraded round) reads the last entry.  An empty cache
+/// returns the 2.0 bits/element cold-start fallback.  Exposed for
+/// regression tests; the Elias wire closures route through it.
+double elias_cache_bits_per_element(const std::vector<double>& cache,
+                                    std::size_t contributions);
 
 // --- concrete strategies -----------------------------------------------------
 
@@ -152,6 +198,8 @@ class EfSignSgdSync final : public SyncStrategy {
 
   std::vector<Tensor> error_;  // per-worker EF memory, lazily sized
   std::vector<double> cached_elias_bpe_;
+  std::vector<float> scratch_p_;      // u_m + e_m round scratch, hoisted
+  std::vector<float> scratch_delta_;  // decode scratch, hoisted
 };
 
 /// SSDM [14] extended to MAR: stochastic signs (P(+1) = 1/2 + g_i/(2‖g‖))
@@ -242,14 +290,18 @@ class MarsitSync final : public SyncStrategy {
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
                                 std::span<float> out) override;
 
-  /// Folds the word range [word_begin, word_begin + num_words) of the
-  /// workers' sign vectors with ⊙, following the configured topology's
+  /// Folds the word range [word_begin, word_begin + num_words) of the first
+  /// `count` sign vectors with ⊙, following the configured topology's
   /// reduction structure (sequential chain on the ring; row folds then
-  /// weighted column merges on the torus; level merges on the tree).
-  /// Mutates `signs` in place — they are per-round scratch — and leaves the
-  /// aggregate in signs.front().  The sharded pipeline calls this once per
-  /// chunk with that chunk's own rng stream.
-  void fold_signs_words(std::vector<BitVector>& signs,
+  /// weighted column merges on the torus; level merges on the tree).  On
+  /// degraded rounds `count` is the survivor count and the fold re-forms
+  /// over them — the torus becomes ragged rows of torus_cols survivors whose
+  /// row aggregates merge with their true accumulated weights, which the
+  /// weighted ⊙ operator keeps unbiased for any shape.  Mutates `signs` in
+  /// place — they are per-round scratch — and leaves the aggregate in
+  /// signs.front().  The sharded pipeline calls this once per chunk with
+  /// that chunk's own rng stream.
+  void fold_signs_words(std::vector<BitVector>& signs, std::size_t count,
                         std::size_t word_begin, std::size_t num_words,
                         Rng& rng) const;
 

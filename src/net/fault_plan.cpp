@@ -1,0 +1,81 @@
+#include "net/fault_plan.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+
+namespace {
+
+/// Salt separating the membership stream from every other use of the plan
+/// seed (the link-level stream salts with kLinkSalt in network_sim.cpp).
+constexpr std::uint64_t kDropoutSalt = 0xd20b0a7eULL;
+
+}  // namespace
+
+bool FaultPlan::has_faults() const {
+  return has_link_faults() || has_membership_faults();
+}
+
+bool FaultPlan::has_link_faults() const {
+  return packet_loss > 0.0 || latency_jitter > 0.0 || !stragglers.empty() ||
+         !outages.empty();
+}
+
+bool FaultPlan::has_membership_faults() const {
+  return dropout_rate > 0.0 || !dropouts.empty();
+}
+
+bool FaultPlan::worker_absent(std::size_t worker, std::size_t round) const {
+  for (const DropOut& drop : dropouts) {
+    if (drop.worker == worker && round >= drop.from_round &&
+        round < drop.to_round) {
+      return true;
+    }
+  }
+  if (dropout_rate > 0.0) {
+    // Pure function of (seed, round, worker): the same worker drops in the
+    // same rounds on every replay, independent of query order.
+    Rng rng(derive_seed(derive_seed(seed, kDropoutSalt ^ round), worker));
+    return rng.next_double() < dropout_rate;
+  }
+  return false;
+}
+
+double FaultPlan::node_slowdown(std::size_t node) const {
+  double slowdown = 1.0;
+  for (const Straggler& straggler : stragglers) {
+    if (straggler.node == node && straggler.slowdown > slowdown) {
+      slowdown = straggler.slowdown;
+    }
+  }
+  return slowdown;
+}
+
+void FaultPlan::validate() const {
+  MARSIT_CHECK(packet_loss >= 0.0 && packet_loss < 1.0)
+      << "packet_loss " << packet_loss << " outside [0, 1)";
+  MARSIT_CHECK(dropout_rate >= 0.0 && dropout_rate < 1.0)
+      << "dropout_rate " << dropout_rate << " outside [0, 1)";
+  MARSIT_CHECK(latency_jitter >= 0.0) << "negative latency_jitter";
+  MARSIT_CHECK(packet_loss == 0.0 || retry_timeout > 0.0)
+      << "packet loss needs a positive retry_timeout";
+  MARSIT_CHECK(packet_loss == 0.0 || retry_backoff >= 1.0)
+      << "retry_backoff must be >= 1";
+  for (const Straggler& straggler : stragglers) {
+    MARSIT_CHECK(straggler.slowdown >= 1.0)
+        << "straggler slowdown " << straggler.slowdown << " below 1";
+  }
+  for (const Outage& outage : outages) {
+    MARSIT_CHECK(outage.start >= 0.0 && outage.end >= outage.start)
+        << "outage window [" << outage.start << ", " << outage.end
+        << ") is not ordered";
+  }
+  for (const DropOut& drop : dropouts) {
+    MARSIT_CHECK(drop.to_round >= drop.from_round)
+        << "drop-out rounds [" << drop.from_round << ", " << drop.to_round
+        << ") are not ordered";
+  }
+}
+
+}  // namespace marsit

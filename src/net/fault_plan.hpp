@@ -1,0 +1,115 @@
+// Deterministic, seeded fault injection for the network simulator and the
+// synchronization strategies.
+//
+// A FaultPlan describes everything that can go wrong with the fleet during a
+// simulated run, at two levels:
+//
+//   * **link/NIC level**, consumed by NetworkSim::transfer(): per-link packet
+//     loss (each lost attempt costs a retry timeout with exponential
+//     backoff and puts the payload on the wire again), uniform latency
+//     jitter per message, transient NIC outages (a node's ingress+egress are
+//     down for a window of simulated seconds within a round), and per-node
+//     straggler slowdowns (the node's link serialization runs slower by a
+//     factor);
+//   * **membership level**, consumed by SyncStrategy::synchronize(): workers
+//     absent for whole rounds, either from explicit [from, to) drop-out
+//     windows or from a per-round Bernoulli drop-out rate.  Strategies
+//     re-form the reduction over the survivors (see sync_strategy.hpp).
+//
+// Determinism contract: every stochastic decision is a pure function of
+// (plan.seed, round, entity) — membership via hashed per-(round, worker)
+// streams, link-level draws via a per-round stream consumed in transfer call
+// order (the schedules issue transfers in a deterministic order).  Replaying
+// a run with the same plan reproduces the same faults bit-for-bit.
+//
+// A default-constructed plan has no faults (`has_faults()` is false): the
+// simulator and strategies take exactly their original code paths, so the
+// layer is zero-cost — and bit-identical — when off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace marsit {
+
+struct FaultPlan {
+  /// Root seed for every stochastic fault decision.  Independent of the
+  /// SyncConfig seed so fault schedules can be varied against a fixed
+  /// training trajectory and vice versa.
+  std::uint64_t seed = 0;
+
+  // --- link level -----------------------------------------------------------
+  /// Probability in [0, 1) that one transmission attempt of a message is
+  /// lost.  Lost attempts are retried (see retry_timeout) up to max_retries;
+  /// the payload bits of every failed attempt count as retransmitted.
+  double packet_loss = 0.0;
+  /// Seconds the sender waits before retrying a lost attempt (covers the
+  /// wasted transmission + the timeout detection).
+  double retry_timeout = 1e-3;
+  /// Multiplier applied to retry_timeout after every consecutive loss of the
+  /// same message (exponential backoff).
+  double retry_backoff = 2.0;
+  /// Retry budget per message; after this many losses the message goes
+  /// through regardless (the simulator models delivery-after-degradation,
+  /// not permanent partition).
+  std::size_t max_retries = 16;
+
+  /// Each message's delivery gains Uniform[0, latency_jitter) extra seconds.
+  double latency_jitter = 0.0;
+
+  /// Straggler: node's link serialization runs `slowdown`× slower
+  /// (slowdown >= 1).  Applied when the node is either endpoint.
+  struct Straggler {
+    std::size_t node = 0;
+    double slowdown = 1.0;
+  };
+  std::vector<Straggler> stragglers;
+
+  /// Transient NIC outage: both of `node`'s NICs are down during
+  /// [start, end) simulated seconds of every round; transfers touching the
+  /// node wait for the window to close.
+  struct Outage {
+    std::size_t node = 0;
+    double start = 0.0;
+    double end = 0.0;
+  };
+  std::vector<Outage> outages;
+
+  // --- membership level -----------------------------------------------------
+  /// Worker `worker` is absent for rounds [from_round, to_round).
+  struct DropOut {
+    std::size_t worker = 0;
+    std::size_t from_round = 0;
+    std::size_t to_round = 0;
+  };
+  std::vector<DropOut> dropouts;
+
+  /// Additionally, every worker is independently absent in any given round
+  /// with this probability (deterministic in (seed, round, worker)).
+  double dropout_rate = 0.0;
+
+  // --- queries --------------------------------------------------------------
+  /// True when any fault knob is set; false selects the zero-cost path.
+  bool has_faults() const;
+  /// True when any link-level knob is set (loss, jitter, stragglers,
+  /// outages).
+  bool has_link_faults() const;
+  /// True when any membership knob is set (dropouts, dropout_rate).
+  bool has_membership_faults() const;
+
+  /// Whether `worker` sits out round `round` (explicit windows plus the
+  /// seeded Bernoulli drop-out).  Callers are responsible for quorum: see
+  /// SyncStrategy::synchronize, which re-admits workers when fewer than two
+  /// would survive.
+  bool worker_absent(std::size_t worker, std::size_t round) const;
+
+  /// Straggler slowdown factor for `node` (1.0 when not a straggler).
+  double node_slowdown(std::size_t node) const;
+
+  /// Validates ranges (probabilities in [0, 1), slowdowns >= 1, outage
+  /// windows ordered); throws CheckError on violation.
+  void validate() const;
+};
+
+}  // namespace marsit

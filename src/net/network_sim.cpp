@@ -4,11 +4,52 @@
 
 namespace marsit {
 
+namespace {
+
+/// Salt separating the link-level fault stream from the membership stream
+/// (kDropoutSalt in fault_plan.cpp).
+constexpr std::uint64_t kLinkSalt = 0x11c4fa17ULL;
+
+}  // namespace
+
 NetworkSim::NetworkSim(std::size_t num_nodes, CostModel model)
     : model_(model), nodes_(num_nodes) {
   MARSIT_CHECK(num_nodes >= 2) << "network needs at least 2 nodes";
   MARSIT_CHECK(model_.link_bandwidth > 0 && model_.server_bandwidth > 0)
       << "bandwidths must be positive";
+}
+
+void NetworkSim::set_fault_plan(const FaultPlan* plan) {
+  if (plan != nullptr) {
+    plan->validate();
+  }
+  fault_plan_ = plan;
+}
+
+void NetworkSim::begin_round(std::size_t round) {
+  reset();
+  if (fault_plan_ != nullptr && fault_plan_->has_link_faults()) {
+    fault_rng_ = Rng(derive_seed(derive_seed(fault_plan_->seed, kLinkSalt),
+                                 round));
+  }
+}
+
+double NetworkSim::defer_past_outages(std::size_t src, std::size_t dst,
+                                      double start) const {
+  // Windows can abut or overlap; iterate until the start time is outside
+  // every window touching either endpoint.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const FaultPlan::Outage& outage : fault_plan_->outages) {
+      if ((outage.node == src || outage.node == dst) &&
+          start >= outage.start && start < outage.end) {
+        start = outage.end;
+        moved = true;
+      }
+    }
+  }
+  return start;
 }
 
 double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
@@ -20,9 +61,42 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
 
   const double bandwidth =
       server_endpoint ? model_.server_bandwidth : model_.link_bandwidth;
-  const double start = std::max({ready_time, nodes_[src].egress_free,
-                                 nodes_[dst].ingress_free});
-  const double end = start + model_.link_alpha + bytes / bandwidth;
+  double start = std::max({ready_time, nodes_[src].egress_free,
+                           nodes_[dst].ingress_free});
+  double end;
+  if (fault_plan_ == nullptr || !fault_plan_->has_link_faults()) {
+    // Fault-free fast path: the original α–β arithmetic, untouched.
+    end = start + model_.link_alpha + bytes / bandwidth;
+  } else {
+    const FaultPlan& plan = *fault_plan_;
+    if (!plan.outages.empty()) {
+      start = defer_past_outages(src, dst, start);
+    }
+    // A straggling endpoint serializes the payload slower; the slower end
+    // gates the link.
+    const double slowdown =
+        std::max(plan.node_slowdown(src), plan.node_slowdown(dst));
+    double duration = model_.link_alpha + bytes * slowdown / bandwidth;
+    if (plan.latency_jitter > 0.0) {
+      duration += fault_rng_.next_double() * plan.latency_jitter;
+    }
+    // Packet loss: each lost attempt burns the payload on the wire and the
+    // sender waits out the (exponentially backed-off) retry timeout before
+    // transmitting again.
+    if (plan.packet_loss > 0.0) {
+      double timeout = plan.retry_timeout;
+      for (std::size_t attempt = 0; attempt < plan.max_retries &&
+                                    fault_rng_.bernoulli(plan.packet_loss);
+           ++attempt) {
+        retransmitted_bytes_ += bytes;
+        total_bytes_ += bytes;
+        ++retransmissions_;
+        start += timeout;
+        timeout *= plan.retry_backoff;
+      }
+    }
+    end = start + duration;
+  }
   nodes_[src].egress_free = end;
   nodes_[dst].ingress_free = end;
   total_bytes_ += bytes;
@@ -46,6 +120,8 @@ void NetworkSim::reset() {
   }
   total_bytes_ = 0.0;
   total_messages_ = 0;
+  retransmitted_bytes_ = 0.0;
+  retransmissions_ = 0;
 }
 
 }  // namespace marsit

@@ -15,13 +15,23 @@
 // Simulated time is double seconds.  The simulator carries no payloads —
 // data movement is executed by the collectives on in-memory buffers; this
 // class only answers "when".
+//
+// Fault injection: an attached FaultPlan (set_fault_plan) makes transfer()
+// model packet loss with retry/timeout/exponential backoff, latency jitter,
+// per-node straggler slowdown, and transient NIC outage windows.  Callers
+// must call begin_round(round) once per round so the link-level fault stream
+// is a deterministic function of (plan seed, round, transfer order).  With
+// no plan attached — or a plan with no link faults — transfer() computes
+// exactly the original α–β arithmetic, bit for bit.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "net/cost_model.hpp"
+#include "net/fault_plan.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace marsit {
 
@@ -31,6 +41,15 @@ class NetworkSim {
 
   std::size_t num_nodes() const { return nodes_.size(); }
   const CostModel& cost_model() const { return model_; }
+
+  /// Attaches a fault plan (nullptr detaches).  The plan is borrowed; it
+  /// must outlive the simulator.  Validates the plan's ranges.
+  void set_fault_plan(const FaultPlan* plan);
+  const FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Resets NIC occupancy/statistics and reseeds the link-level fault
+  /// stream for `round`.  Equivalent to reset() when no plan is attached.
+  void begin_round(std::size_t round);
 
   /// Schedules a transfer of `bytes` from src to dst whose payload becomes
   /// available at `ready_time`.  Returns the delivery completion time.
@@ -45,9 +64,15 @@ class NetworkSim {
     return transfer(src, dst, bits / 8.0, ready_time, server_endpoint);
   }
 
-  /// Total payload bytes moved since construction/reset.
+  /// Total payload bytes moved since construction/reset (including
+  /// retransmissions).
   double total_bytes() const { return total_bytes_; }
   std::size_t total_messages() const { return total_messages_; }
+
+  /// Payload bytes burned by lost attempts since construction/reset.
+  double retransmitted_bytes() const { return retransmitted_bytes_; }
+  /// Lost attempts (= retries paid) since construction/reset.
+  std::size_t retransmissions() const { return retransmissions_; }
 
   /// Earliest time a new transfer out of `node` could start.
   double egress_free(std::size_t node) const;
@@ -63,10 +88,18 @@ class NetworkSim {
     double ingress_free = 0.0;
   };
 
+  /// Pushes `start` past every outage window of src/dst it falls inside.
+  double defer_past_outages(std::size_t src, std::size_t dst,
+                            double start) const;
+
   CostModel model_;
   std::vector<NodeNics> nodes_;
+  const FaultPlan* fault_plan_ = nullptr;
+  Rng fault_rng_{0};
   double total_bytes_ = 0.0;
   std::size_t total_messages_ = 0;
+  double retransmitted_bytes_ = 0.0;
+  std::size_t retransmissions_ = 0;
 };
 
 }  // namespace marsit

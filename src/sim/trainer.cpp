@@ -156,6 +156,7 @@ TrainResult DistributedTrainer::train() {
   PhaseTimes phase_totals;
   double bits_per_element_total = 0.0;
   double matching_total = 0.0;
+  double active_workers_total = 0.0;
   float eta_l = config_.eta_l;
   Tensor exact_mean(param_count_);
   // O(log n) decay lookup per round instead of a linear scan of the
@@ -202,6 +203,13 @@ TrainResult DistributedTrainer::train() {
     cumulative_seconds_ += compute_seconds + step.timing.completion_seconds;
     cumulative_bits_ += step.timing.total_wire_bits;
     bits_per_element_total += step.bits_per_element;
+    active_workers_total += static_cast<double>(step.active_workers);
+    if (step.active_workers < m) {
+      ++result.degraded_rounds;
+    }
+    result.total_retransmitted_wire_bits +=
+        step.timing.retransmitted_wire_bits;
+    result.total_retransmissions += step.timing.retransmissions;
     phase_totals.compute += compute_seconds;
     phase_totals.compression += step.timing.compression_seconds_per_worker();
     phase_totals.communication += step.timing.communication_seconds();
@@ -256,6 +264,7 @@ TrainResult DistributedTrainer::train() {
   result.mean_bits_per_element = bits_per_element_total / rounds;
   result.mean_matching_rate =
       config_.track_matching_rate ? matching_total / rounds : 0.0;
+  result.mean_active_workers = active_workers_total / rounds;
   return result;
 }
 

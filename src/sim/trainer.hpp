@@ -94,6 +94,17 @@ struct TrainResult {
   double mean_bits_per_element = 0.0;
   /// Mean sign matching rate (only if track_matching_rate).
   double mean_matching_rate = 0.0;
+
+  // Fault accounting (all zero when the strategy's FaultPlan is empty).
+  /// Rounds where membership faults removed at least one worker.
+  std::size_t degraded_rounds = 0;
+  /// Mean surviving-worker count per round (== num_workers when fault-free).
+  double mean_active_workers = 0.0;
+  /// Wire bits resent due to simulated packet loss, on top of
+  /// total_wire_bits (which counts each payload once).
+  double total_retransmitted_wire_bits = 0.0;
+  /// Number of simulated retransmissions across all rounds.
+  std::size_t total_retransmissions = 0;
 };
 
 class DistributedTrainer {

@@ -196,6 +196,58 @@ TEST(OneBitFoldTest, TorusStyleWeightedMergeIsAlsoUnbiased) {
   }
 }
 
+TEST(OneBitFoldTest, UnevenWeightedMergeIsAlsoUnbiased) {
+  // Degraded reductions merge aggregates of *unequal* weights (a ragged
+  // torus row, a shortened chain tail).  Fold 8 workers as a weight-5 chain
+  // ⊙ a weight-3 chain: element j has k_j = j of the 8 positive, and the
+  // law of total probability gives P(merged bit = 1) = (5/8)·(k_A/5) +
+  // (3/8)·(k_B/3) = j/8 — the same invariant as the balanced shapes.
+  const std::size_t m = 8;
+  const std::size_t split = 5;
+  const std::size_t reps = 64;
+  const std::size_t d = (m + 1) * reps;
+  std::vector<BitVector> signs(m, BitVector(d));
+  for (std::size_t w = 0; w < m; ++w) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      if (w < j) {
+        for (std::size_t r = 0; r < reps; ++r) {
+          signs[w].set(j * reps + r, true);
+        }
+      }
+    }
+  }
+
+  Rng rng(400);
+  const int trials = 500;
+  std::vector<std::size_t> ones(m + 1, 0);
+  for (int t = 0; t < trials; ++t) {
+    BitVector left = signs[0];
+    for (std::size_t w = 1; w < split; ++w) {
+      one_bit_combine_into(left, w, signs[w], 1, rng);
+    }
+    BitVector right = signs[split];
+    for (std::size_t w = split + 1; w < m; ++w) {
+      one_bit_combine_into(right, w - split, signs[w], 1, rng);
+    }
+    const BitVector merged =
+        one_bit_combine(left, split, right, m - split, rng);
+    for (std::size_t j = 0; j <= m; ++j) {
+      for (std::size_t r = 0; r < reps; ++r) {
+        ones[j] += merged.get(j * reps + r);
+      }
+    }
+  }
+  const std::size_t n = reps * trials;
+  EXPECT_EQ(ones[0], 0u);
+  EXPECT_EQ(ones[m], n);
+  for (std::size_t j = 1; j < m; ++j) {
+    EXPECT_LT(std::fabs(binomial_z_score(
+                  ones[j], n, static_cast<double>(j) / m)),
+              5.0)
+        << "k=" << j << " under a 5⊕3 weighted merge";
+  }
+}
+
 TEST(OneBitFoldTest, ExpectedSignEqualsMeanSign) {
   // Mapping bits to ±1, E[folded] = mean of worker signs — the property the
   // global update g_t relies on.  Check one element with 3/5 positive.

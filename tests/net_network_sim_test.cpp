@@ -109,5 +109,135 @@ TEST(NetworkSimTest, NicFreeTimesVisible) {
   EXPECT_DOUBLE_EQ(net.ingress_free(0), 0.0);
 }
 
+// --- fault injection --------------------------------------------------------------
+
+TEST(NetworkSimFaultTest, EmptyPlanTakesFaultFreePath) {
+  // An attached but empty plan (and membership-only plans) must leave the
+  // arithmetic bit-identical to no plan at all.
+  FaultPlan empty;
+  FaultPlan membership_only;
+  membership_only.dropout_rate = 0.5;
+  for (const FaultPlan* plan : {&empty, &membership_only}) {
+    NetworkSim net(2, simple_model());
+    net.set_fault_plan(plan);
+    net.begin_round(3);
+    EXPECT_DOUBLE_EQ(net.transfer(0, 1, 200.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(net.retransmitted_bytes(), 0.0);
+    EXPECT_EQ(net.retransmissions(), 0u);
+  }
+}
+
+TEST(NetworkSimFaultTest, StragglerSlowsEitherEndpoint) {
+  FaultPlan plan;
+  plan.stragglers.push_back({1, 3.0});
+  NetworkSim net(3, simple_model());
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  // 1 s alpha + 200 B · 3 / 100 B/s = 7 s whenever node 1 is an endpoint.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 200.0, 0.0), 7.0);
+  net.begin_round(1);
+  EXPECT_DOUBLE_EQ(net.transfer(1, 0, 200.0, 0.0), 7.0);
+  net.begin_round(2);
+  EXPECT_DOUBLE_EQ(net.transfer(0, 2, 200.0, 0.0), 3.0);  // avoids node 1
+}
+
+TEST(NetworkSimFaultTest, OutageDefersAcrossAbuttingWindows) {
+  FaultPlan plan;
+  plan.outages.push_back({1, 0.0, 5.0});
+  plan.outages.push_back({1, 5.0, 8.0});
+  NetworkSim net(3, simple_model());
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  // Start slides past both windows: 8 s + (1 + 1) s transfer.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 0.0), 10.0);
+  // A transfer avoiding node 1 is unaffected.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 2, 100.0, 0.0), 12.0);  // egress busy til 10
+}
+
+TEST(NetworkSimFaultTest, PacketLossRetriesWithBackoffAndCountsBits) {
+  FaultPlan plan;
+  plan.packet_loss = 0.999999;  // effectively always lost, still valid
+  plan.max_retries = 3;
+  plan.retry_timeout = 1.0;
+  plan.retry_backoff = 2.0;
+  NetworkSim net(2, simple_model());
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  // 3 losses burn timeouts 1 + 2 + 4 = 7 s, then the message lands:
+  // 7 + 1 + 100/100 = 9 s.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 0.0), 9.0);
+  EXPECT_DOUBLE_EQ(net.retransmitted_bytes(), 300.0);
+  EXPECT_EQ(net.retransmissions(), 3u);
+  // Retransmissions consume real bandwidth: 4 attempts on the wire.
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 400.0);
+  // begin_round clears the counters with the rest of the statistics.
+  net.begin_round(1);
+  EXPECT_DOUBLE_EQ(net.retransmitted_bytes(), 0.0);
+  EXPECT_EQ(net.retransmissions(), 0u);
+}
+
+TEST(NetworkSimFaultTest, JitterBoundedAndDeterministicPerRound) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.latency_jitter = 0.5;
+  const auto run = [&plan](std::size_t round) {
+    NetworkSim net(2, simple_model());
+    net.set_fault_plan(&plan);
+    net.begin_round(round);
+    return net.transfer(0, 1, 100.0, 0.0);
+  };
+  const double first = run(4);
+  EXPECT_GE(first, 2.0);
+  EXPECT_LT(first, 2.5);
+  EXPECT_DOUBLE_EQ(run(4), first);  // same (seed, round) => same draw
+  EXPECT_NE(run(5), first);         // per-round streams are independent
+}
+
+TEST(NetworkSimFaultTest, InvalidPlansRejected) {
+  const auto attach = [](const FaultPlan& plan) {
+    NetworkSim net(2, simple_model());
+    net.set_fault_plan(&plan);
+  };
+  FaultPlan loss;
+  loss.packet_loss = 1.0;  // must stay below 1 (retry loop must terminate)
+  EXPECT_THROW(attach(loss), CheckError);
+  FaultPlan slow;
+  slow.stragglers.push_back({0, 0.5});  // speedups are not faults
+  EXPECT_THROW(attach(slow), CheckError);
+  FaultPlan outage;
+  outage.outages.push_back({0, 5.0, 2.0});  // inverted window
+  EXPECT_THROW(attach(outage), CheckError);
+  FaultPlan dropout;
+  dropout.dropout_rate = -0.1;
+  EXPECT_THROW(attach(dropout), CheckError);
+}
+
+TEST(FaultPlanTest, ExplicitDropoutWindows) {
+  FaultPlan plan;
+  plan.dropouts.push_back({2, 5, 8});
+  EXPECT_FALSE(plan.worker_absent(2, 4));
+  EXPECT_TRUE(plan.worker_absent(2, 5));
+  EXPECT_TRUE(plan.worker_absent(2, 7));
+  EXPECT_FALSE(plan.worker_absent(2, 8));  // [from, to) is half-open
+  EXPECT_FALSE(plan.worker_absent(1, 6));  // other workers unaffected
+}
+
+TEST(FaultPlanTest, BernoulliDropoutDeterministicAndCalibrated) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.dropout_rate = 0.3;
+  std::size_t absent = 0;
+  const std::size_t draws = 4000;
+  for (std::size_t round = 0; round < draws / 4; ++round) {
+    for (std::size_t worker = 0; worker < 4; ++worker) {
+      const bool a = plan.worker_absent(worker, round);
+      EXPECT_EQ(a, plan.worker_absent(worker, round));  // pure function
+      absent += a ? 1 : 0;
+    }
+  }
+  const double rate = static_cast<double>(absent) / draws;
+  EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
 }  // namespace
 }  // namespace marsit

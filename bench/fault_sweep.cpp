@@ -19,11 +19,11 @@
 // is a degradation curve.  Output: a human-readable table on stdout plus a
 // machine-readable JSON file (--out PATH, default fault_sweep.json).
 #include <fstream>
-#include <sstream>
 
 #include "bench_util.hpp"
 #include "data/synthetic_digits.hpp"
 #include "nn/models.hpp"
+#include "obs/json_writer.hpp"
 
 using namespace marsit;
 using namespace marsit::bench;
@@ -91,10 +91,14 @@ int main(int argc, char** argv) {
 
   TextTable table({"fault", "severity", "method", "final acc (%)", "sim time",
                    "degraded rounds", "mean active", "retx (Mb)"});
-  std::ostringstream json;
-  json << "{\n  \"rounds\": " << rounds << ",\n  \"workers\": " << workers
-       << ",\n  \"curves\": [";
-  bool first_cell = true;
+  std::ofstream out(out_path);
+  MARSIT_CHECK(out.good()) << "cannot open " << out_path;
+  obs::JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.kv("rounds", rounds);
+  json.kv("workers", workers);
+  json.key("curves");
+  json.begin_array();
 
   for (const FaultSpec& fault : faults) {
     for (const double severity : fault.severities) {
@@ -125,32 +129,28 @@ int main(int argc, char** argv) {
                        format_fixed(result.mean_active_workers, 2),
                        format_fixed(retx_megabits, 2)});
 
-        json << (first_cell ? "" : ",") << "\n    {"
-             << "\"fault\": \"" << fault.type << "\", "
-             << "\"severity\": " << severity << ", "
-             << "\"method\": \"" << method.label << "\", "
-             << "\"final_accuracy\": " << result.final_test_accuracy << ", "
-             << "\"sim_seconds\": " << result.sim_seconds << ", "
-             << "\"total_wire_bits\": " << result.total_wire_bits << ", "
-             << "\"degraded_rounds\": " << result.degraded_rounds << ", "
-             << "\"mean_active_workers\": " << result.mean_active_workers
-             << ", "
-             << "\"retransmitted_wire_bits\": "
-             << result.total_retransmitted_wire_bits << ", "
-             << "\"retransmissions\": " << result.total_retransmissions
-             << ", "
-             << "\"diverged\": " << (result.diverged ? "true" : "false")
-             << "}";
-        first_cell = false;
+        json.begin_object();
+        json.kv("fault", fault.type);
+        json.kv("severity", severity);
+        json.kv("method", method.label);
+        json.kv("final_accuracy", result.final_test_accuracy);
+        json.kv("sim_seconds", result.sim_seconds);
+        json.kv("total_wire_bits", result.total_wire_bits);
+        json.kv("degraded_rounds", result.degraded_rounds);
+        json.kv("mean_active_workers", result.mean_active_workers);
+        json.kv("retransmitted_wire_bits",
+                result.total_retransmitted_wire_bits);
+        json.kv("retransmissions", result.total_retransmissions);
+        json.kv("diverged", result.diverged);
+        json.end_object();
       }
     }
   }
-  json << "\n  ]\n}\n";
+  json.end_array();
+  json.end_object();
+  out << "\n";
 
   table.print(std::cout);
-  std::ofstream out(out_path);
-  MARSIT_CHECK(out.good()) << "cannot open " << out_path;
-  out << json.str();
   std::cout << "\nJSON degradation curves written to " << out_path << "\n";
   std::cout << "shape check: severity 0 matches the healthy run; accuracy "
                "decays and sim\ntime inflates as severity grows, with Marsit "

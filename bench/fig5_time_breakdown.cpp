@@ -8,12 +8,17 @@
 //
 // Cost-model experiment.  The sign-sum baselines' Elias-coded wire image is
 // measured from real data (32 random sign vectors folded through the actual
-// codec) rather than assumed.
+// codec) rather than assumed.  Pass `--out PATH` to also write the breakdown
+// as machine-readable JSON.
+#include <fstream>
+#include <optional>
+
 #include "bench_util.hpp"
 #include "collectives/aggregators.hpp"
 #include "collectives/timing.hpp"
 #include "compress/sign_codec.hpp"
 #include "compress/sign_sum.hpp"
+#include "obs/json_writer.hpp"
 #include "tensor/ops.hpp"
 
 using namespace marsit;
@@ -83,6 +88,26 @@ int main(int argc, char** argv) {
       {"Marsit", marsit_wire(model)},
   };
 
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") {
+      out_path = argv[i + 1];
+    }
+  }
+  std::ofstream out_stream;
+  std::optional<obs::JsonWriter> json;
+  if (!out_path.empty()) {
+    out_stream.open(out_path);
+    MARSIT_CHECK(out_stream.good()) << "cannot open " << out_path;
+    json.emplace(out_stream, /*pretty=*/true);
+    json->begin_object();
+    json->kv("workers", workers);
+    json->kv("params", d);
+    json->kv("compute_seconds", compute_seconds);
+    json->key("cells");
+    json->begin_array();
+  }
+
   TextTable table({"paradigm", "method", "compute", "compression",
                    "communication", "round total"});
   for (const char* paradigm : {"RAR", "TAR"}) {
@@ -113,7 +138,26 @@ int main(int argc, char** argv) {
                      format_duration(timing.communication_seconds()),
                      format_duration(compute_seconds +
                                      timing.completion_seconds)});
+      if (json) {
+        json->begin_object();
+        json->kv("paradigm", paradigm);
+        json->kv("method", method.label);
+        json->kv("compression_seconds",
+                 timing.compression_seconds_per_worker());
+        json->kv("communication_seconds", timing.communication_seconds());
+        json->kv("round_seconds",
+                 compute_seconds + timing.completion_seconds);
+        json->kv("total_wire_bits", timing.total_wire_bits);
+        json->end_object();
+      }
     }
+  }
+  if (json) {
+    json->end_array();
+    json->end_object();
+    json.reset();
+    out_stream << "\n";
+    std::cout << "\nJSON breakdown written to " << out_path << "\n";
   }
   table.print(std::cout);
   std::cout << "\nshape check: each method's communication bar shrinks from "

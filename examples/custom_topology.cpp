@@ -6,22 +6,25 @@
 // everything an integrator needs to evaluate Marsit for their own cluster
 // shape before touching training code.
 //
-//   ./build/examples/custom_topology [million_params]
+//   ./build/examples/custom_topology [million_params] [--trace out.trace.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "collectives/timing.hpp"
 #include "compress/sign_codec.hpp"
 #include "core/one_bit.hpp"
+#include "obs/exporter.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace marsit;
+  obs::ScopedTrace trace(argc, argv);
 
-  const std::size_t million =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 25;
+  const std::size_t million = argc > 1 && argv[1][0] != '-'
+                                  ? static_cast<std::size_t>(std::atol(argv[1]))
+                                  : 25;
   const std::size_t d = million * 1000 * 1000;  // ResNet-50 scale by default
 
   // --- 1. one-bit aggregation on raw vectors --------------------------------

@@ -2,13 +2,14 @@
 // on the synthetic CIFAR-like image dataset, trained with all six methods
 // from the evaluation, comparing accuracy, simulated time, and traffic.
 //
-//   ./build/examples/image_classification [rounds]
+//   ./build/examples/image_classification [rounds] [--trace out.trace.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/sync_strategy.hpp"
 #include "data/synthetic_images.hpp"
 #include "nn/models.hpp"
+#include "obs/exporter.hpp"
 #include "sim/trainer.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -16,9 +17,11 @@
 int main(int argc, char** argv) {
   using namespace marsit;
   set_log_level(LogLevel::kWarning);
+  obs::ScopedTrace trace(argc, argv);
 
-  const std::size_t rounds =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 200;
+  const std::size_t rounds = argc > 1 && argv[1][0] != '-'
+                                 ? static_cast<std::size_t>(std::atol(argv[1]))
+                                 : 200;
   const std::size_t workers = 4;
 
   SyntheticImages images;

@@ -2,21 +2,23 @@
 // 4 simulated workers, once with full-precision PSGD and once with Marsit's
 // one-bit synchronization, and compare accuracy / simulated time / traffic.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--trace out.trace.json]
 #include <cstdio>
 
 #include "core/sync_strategy.hpp"
 #include "data/synthetic_digits.hpp"
 #include "nn/models.hpp"
+#include "obs/exporter.hpp"
 #include "sim/trainer.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
 #include <iostream>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marsit;
   set_log_level(LogLevel::kWarning);
+  obs::ScopedTrace trace(argc, argv);
 
   const std::size_t workers = 4;
   const std::size_t rounds = 150;

@@ -2,13 +2,14 @@
 // classification over synthetic token sequences with a text classifier
 // trained by Adam, synchronized with Marsit on a 2-D torus (TAR).
 //
-//   ./build/examples/sentiment_analysis [rounds]
+//   ./build/examples/sentiment_analysis [rounds] [--trace out.trace.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/sync_strategy.hpp"
 #include "data/synthetic_sentiment.hpp"
 #include "nn/models.hpp"
+#include "obs/exporter.hpp"
 #include "sim/trainer.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -16,9 +17,11 @@
 int main(int argc, char** argv) {
   using namespace marsit;
   set_log_level(LogLevel::kWarning);
+  obs::ScopedTrace trace(argc, argv);
 
-  const std::size_t rounds =
-      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 150;
+  const std::size_t rounds = argc > 1 && argv[1][0] != '-'
+                                 ? static_cast<std::size_t>(std::atol(argv[1]))
+                                 : 150;
 
   SyntheticSentiment sentiment;
   auto factory = [&sentiment] {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "compress/sign_sum.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
@@ -12,6 +13,25 @@ namespace marsit {
 namespace {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Emits a "phase" span on the schedule track when tracing is on.  Times
+/// are collective-local; the installed session's time_offset places them on
+/// the global simulated timeline (see obs/trace.hpp).
+void trace_phase(const char* name, double local_start, double local_end) {
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    const double offset = trace->time_offset();
+    trace->add_span(name, "phase", offset + local_start, offset + local_end,
+                    /*track=*/0);
+  }
+}
+
+double max_ready(const std::vector<double>& ready, double floor) {
+  double done = floor;
+  for (const double r : ready) {
+    done = std::max(done, r);
+  }
+  return done;
+}
 
 double rate_to_seconds(double rate) {
   MARSIT_CHECK(rate > 0) << "cost-model rate must be positive";
@@ -161,6 +181,8 @@ CollectiveTiming ring_allreduce_timing(std::size_t num_workers, std::size_t d,
       timing.total_wire_bits += bits;
     }
   }
+  const double reduce_done = max_ready(ready, start_time);
+  trace_phase("reduce-scatter", start_time, reduce_done);
 
   // All-gather.  Finalized segment s leaves worker s and circulates M−1 hops.
   for (std::size_t step = 0; step + 1 < m; ++step) {
@@ -174,10 +196,8 @@ CollectiveTiming ring_allreduce_timing(std::size_t num_workers, std::size_t d,
     }
   }
 
-  double last_arrival = start_time;
-  for (std::size_t s = 0; s < m; ++s) {
-    last_arrival = std::max(last_arrival, ready[s]);
-  }
+  const double last_arrival = max_ready(ready, start_time);
+  trace_phase("all-gather", reduce_done, last_arrival);
   const double dd = static_cast<double>(d);
   timing.completion_seconds =
       last_arrival + wire.final_unpack_seconds_per_element * dd - start_time;
@@ -236,6 +256,11 @@ CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
       ready_a[r][c] = ready[c];
     }
   }
+  double phase_a_done = start_time;
+  for (const auto& row : ready_a) {
+    phase_a_done = max_ready(row, phase_a_done);
+  }
+  trace_phase("row reduce-scatter", start_time, phase_a_done);
 
   // Phase B: all-reduce along each column ring over the len_a chunk
   // (reduce-scatter into rows sub-chunks of len_b, then all-gather).  A
@@ -280,6 +305,11 @@ CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
       ready_b[r][c] = done;
     }
   }
+  double phase_b_done = start_time;
+  for (const auto& row : ready_b) {
+    phase_b_done = max_ready(row, phase_b_done);
+  }
+  trace_phase("column all-reduce", phase_a_done, phase_b_done);
 
   // Phase C: all-gather along each row ring (cols chunks of len_a).
   double last_arrival = start_time;
@@ -302,6 +332,7 @@ CollectiveTiming torus_allreduce_timing(std::size_t rows, std::size_t cols,
       last_arrival = std::max(last_arrival, ready[s]);
     }
   }
+  trace_phase("row all-gather", phase_b_done, last_arrival);
 
   const double dd = static_cast<double>(d);
   const std::size_t m = rows * cols;
@@ -349,10 +380,13 @@ CollectiveTiming ps_allreduce_timing(std::size_t num_workers, std::size_t d,
     timing.total_wire_bits += bits;
   }
 
+  trace_phase("push", start_time, all_pushed);
+
   // Server-side aggregation of M payloads.
   const double aggregated =
       all_pushed +
       wire.serial_seconds_per_element * dd * static_cast<double>(m);
+  trace_phase("server aggregate", all_pushed, aggregated);
 
   // Broadcast: serialized through the server egress NIC.
   double last_arrival = aggregated;
@@ -363,6 +397,7 @@ CollectiveTiming ps_allreduce_timing(std::size_t num_workers, std::size_t d,
     last_arrival = std::max(last_arrival, arrival);
     timing.total_wire_bits += down_bits;
   }
+  trace_phase("broadcast", aggregated, last_arrival);
 
   timing.completion_seconds =
       last_arrival + wire.final_unpack_seconds_per_element * dd - start_time;
@@ -410,6 +445,8 @@ CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
       timing.total_wire_bits += bits;
     }
   }
+  const double reduce_done = max_ready(ready, start_time);
+  trace_phase("tree reduce", start_time, reduce_done);
 
   // Broadcast the finalized aggregate back down the same tree (largest
   // reduce stride first).

@@ -6,6 +6,8 @@
 #include "compress/kernels.hpp"
 #include "compress/sign_codec.hpp"
 #include "core/one_bit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/shard.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -43,6 +45,48 @@ std::size_t network_nodes(const SyncConfig& config) {
 
 ThreadPool& strategy_pool(const SyncConfig& config) {
   return config.pool != nullptr ? *config.pool : global_thread_pool();
+}
+
+/// Records an Elias refresh round: a counter tick and a trace instant
+/// (refreshes are O(M·D) re-encodes, worth spotting on a timeline).
+void note_elias_refresh(std::size_t round) {
+  if (obs::metrics_enabled()) {
+    static const obs::Counter refreshes("sync.elias_refreshes");
+    refreshes.increment();
+  }
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    trace->add_instant("elias-refresh round " + std::to_string(round),
+                       "refresh", trace->time_offset(), /*track=*/0);
+  }
+}
+
+/// Publishes the per-round synchronization metrics.  Pure observation of the
+/// already-computed step result; called with metrics enabled.
+void publish_sync_metrics(const SyncStepResult& result, bool degraded) {
+  static const obs::Counter rounds("sync.rounds");
+  static const obs::Counter degraded_rounds("sync.degraded_rounds");
+  static const obs::Counter full_precision_rounds(
+      "sync.full_precision_rounds");
+  static const obs::Counter wire_bits("sync.wire_bits");
+  static const obs::Counter retransmitted_wire_bits(
+      "sync.retransmitted_wire_bits");
+  static const obs::Counter retransmissions("sync.retransmissions");
+  static const obs::Gauge active_workers("sync.active_workers");
+  static const obs::Gauge bits_per_element("sync.bits_per_element");
+  static const obs::Histogram completion_seconds("sync.completion_seconds");
+  rounds.increment();
+  if (degraded) {
+    degraded_rounds.increment();
+  }
+  if (result.full_precision) {
+    full_precision_rounds.increment();
+  }
+  wire_bits.add(result.timing.total_wire_bits);
+  retransmitted_wire_bits.add(result.timing.retransmitted_wire_bits);
+  retransmissions.add(static_cast<double>(result.timing.retransmissions));
+  active_workers.set(static_cast<double>(result.active_workers));
+  bits_per_element.set(result.bits_per_element);
+  completion_seconds.observe(result.timing.completion_seconds);
 }
 
 }  // namespace
@@ -99,6 +143,9 @@ SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
   }
   SyncStepResult result = do_synchronize(inputs, out);
   result.active_workers = active_.size();
+  if (obs::metrics_enabled()) {
+    publish_sync_metrics(result, degraded_round());
+  }
   ++round_;
   return result;
 }
@@ -246,6 +293,7 @@ SignSumRound run_sign_sum_round(const std::vector<BitVector>& signs,
   SignSumAggregate aggregate = aggregate_sign_sum(signs, refresh);
   if (refresh) {
     elias_cache = aggregate.elias_bits_per_element;
+    note_elias_refresh(round);
   }
   SignSumRound result;
   result.sum = std::move(aggregate.sum);
@@ -357,6 +405,7 @@ SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
     // Size measurement only — the sign-sum itself was already computed by
     // the sharded pipeline and is reused, not re-folded.
     cached_elias_bpe_ = measure_elias_bits_per_element(signs_, &sum_);
+    note_elias_refresh(round_);
   }
   const SignSumWireInfo info =
       sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
@@ -450,6 +499,7 @@ SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
   if (refresh) {
     // Size measurement only — the sharded pipeline's sum is reused.
     cached_elias_bpe_ = measure_elias_bits_per_element(signs_, &sum_);
+    note_elias_refresh(round_);
   }
   const SignSumWireInfo info =
       sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
@@ -717,6 +767,12 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
 
   result.timing = mar_timing(d, marsit_wire(config_.cost_model));
   result.bits_per_element = 1.0;
+  // The residual-magnitude gauge costs an O(M·D) norm pass, so it is
+  // computed only when someone is listening.
+  if (obs::metrics_enabled()) {
+    static const obs::Gauge compensation_norm("marsit.compensation_norm");
+    compensation_norm.set(mean_compensation_norm());
+  }
   return result;
 }
 

@@ -1,6 +1,10 @@
 #include "net/network_sim.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace marsit {
 
@@ -101,6 +105,25 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
   nodes_[dst].ingress_free = end;
   total_bytes_ += bytes;
   ++total_messages_;
+
+  // Observability: one "hop" span per transfer on the sender's track, and
+  // the per-hop latency/byte distributions.  Pure observation — the timing
+  // arithmetic above is untouched, so disabled runs stay bit-identical.
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    const double offset = trace->time_offset();
+    trace->add_span(
+        "hop " + std::to_string(src) + "→" + std::to_string(dst), "hop",
+        offset + start, offset + end,
+        /*track=*/1 + static_cast<std::uint32_t>(src));
+  }
+  if (obs::metrics_enabled()) {
+    static const obs::Histogram hop_seconds("net.hop_seconds");
+    static const obs::Histogram hop_bytes("net.hop_bytes");
+    static const obs::Counter messages("net.messages");
+    hop_seconds.observe(end - start);
+    hop_bytes.observe(bytes);
+    messages.increment();
+  }
   return end;
 }
 

@@ -1,0 +1,167 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace marsit::obs {
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+JsonWriter::~JsonWriter() {
+  // A throwing destructor would terminate during unwinding; report misuse
+  // in tests via the stream state instead of throwing here.
+  if (!stack_.empty()) {
+    out_.setstate(std::ios::failbit);
+  }
+}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) {
+    return;
+  }
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;  // value follows its key inline
+    return;
+  }
+  if (stack_.empty()) {
+    MARSIT_CHECK(values_at_root_ == 0)
+        << "JSON document already has a root value";
+    ++values_at_root_;
+    return;
+  }
+  Level& level = stack_.back();
+  MARSIT_CHECK(level.bracket == '[')
+      << "object members need key() before each value";
+  if (level.has_items) {
+    out_ << ',';
+  }
+  level.has_items = true;
+  newline_indent();
+}
+
+void JsonWriter::open(char bracket) {
+  before_value();
+  out_ << bracket;
+  stack_.push_back(Level{bracket, false});
+}
+
+void JsonWriter::close(char bracket) {
+  MARSIT_CHECK(!stack_.empty() && stack_.back().bracket == bracket)
+      << "mismatched JSON container close";
+  MARSIT_CHECK(!pending_key_) << "dangling key before container close";
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    newline_indent();
+  }
+  out_ << (bracket == '{' ? '}' : ']');
+  if (stack_.empty() && pretty_) {
+    out_ << '\n';
+  }
+}
+
+void JsonWriter::begin_object() { open('{'); }
+void JsonWriter::end_object() { close('{'); }
+void JsonWriter::begin_array() { open('['); }
+void JsonWriter::end_array() { close('['); }
+
+void JsonWriter::key(std::string_view name) {
+  MARSIT_CHECK(!stack_.empty() && stack_.back().bracket == '{')
+      << "key() outside of an object";
+  MARSIT_CHECK(!pending_key_) << "two keys in a row";
+  Level& level = stack_.back();
+  if (level.has_items) {
+    out_ << ',';
+  }
+  level.has_items = true;
+  newline_indent();
+  write_string(name);
+  out_ << (pretty_ ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::write_string(std::string_view text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out_ << buffer;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::value(std::string_view text) {
+  before_value();
+  write_string(text);
+}
+
+void JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out_ << "null";
+    return;
+  }
+  char buffer[32];
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still round-trips for readability.
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, number);
+    double back = 0.0;
+    std::sscanf(buffer, "%lf", &back);
+    if (back == number) {
+      break;
+    }
+  }
+  out_ << buffer;
+}
+
+void JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ << number;
+}
+
+void JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+}
+
+}  // namespace marsit::obs

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer — the one JSON emitter for the exporters
+// and the bench binaries (fault_sweep, fig5_time_breakdown), replacing
+// hand-concatenated string output.  Guarantees structural validity (commas,
+// nesting, string escaping) and round-trippable number formatting; it does
+// not pretty-print beyond optional two-space indentation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace marsit::obs {
+
+class JsonWriter {
+ public:
+  /// Writes into `out`; `pretty` adds newlines + two-space indentation.
+  explicit JsonWriter(std::ostream& out, bool pretty = false);
+  /// The destructor checks that every container was closed.
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or container.
+  void key(std::string_view name);
+
+  void value(std::string_view text);
+  void value(const char* text) { value(std::string_view(text)); }
+  void value(double number);
+  void value(std::int64_t number);
+  void value(std::uint64_t number);
+  void value(int number) { value(static_cast<std::int64_t>(number)); }
+  void value(bool flag);
+
+  /// key() + value() in one call.
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+ private:
+  void before_value();
+  void open(char bracket);
+  void close(char bracket);
+  void newline_indent();
+  void write_string(std::string_view text);
+
+  std::ostream& out_;
+  bool pretty_;
+  bool pending_key_ = false;  // a key was just written; value comes inline
+  struct Level {
+    char bracket;     // '{' or '['
+    bool has_items = false;
+  };
+  std::vector<Level> stack_;
+  std::size_t values_at_root_ = 0;
+};
+
+}  // namespace marsit::obs

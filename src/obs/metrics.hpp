@@ -1,0 +1,192 @@
+// MetricsRegistry — named counters / gauges / histograms for the whole
+// stack, designed around two constraints:
+//
+//   * **zero-cost when disabled** (the default): every publish helper first
+//     reads one relaxed atomic flag and returns; no allocation, no lock, no
+//     branch into the shards.  Instrumented hot paths (NetworkSim::transfer,
+//     SyncStrategy::synchronize, the trainer loop) therefore stay
+//     bit-identical — the instrumentation never touches values or RNG
+//     streams, only observes them;
+//
+//   * **lock-free publishing when enabled**: each publishing thread owns a
+//     private shard (atomics written only by that thread, relaxed order) and
+//     scrape() merges the shards under the registration mutex.  The sharded
+//     sync pipeline can publish from pool threads without serializing.
+//
+// Metric kinds:
+//   counter   — monotonically accumulating double (wire bits, retries);
+//   gauge     — last-writer-wins value (active workers, compensation norm);
+//   histogram — log2-bucketed distribution with sum/count/min/max
+//               (per-hop latencies, round completion times).
+//
+// Metric names are dot-separated lowercase paths ("sync.wire_bits") —
+// DESIGN.md §9 lists every name the stack publishes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marsit::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Histogram geometry: power-of-two buckets.  Bucket i counts values in
+/// [2^(i + kHistogramMinExp), 2^(i + 1 + kHistogramMinExp)); values below
+/// the first floor land in bucket 0, values at or above the last in the
+/// final bucket.  With kMinExp = -40 and 64 buckets the range spans ~1e-12
+/// (picosecond-scale simulated latencies) to ~1.7e7.
+constexpr int kHistogramMinExp = -40;
+constexpr std::size_t kHistogramBuckets = 64;
+
+/// Bucket index for `value` (values <= 0 land in bucket 0).
+std::size_t histogram_bucket(double value);
+/// Inclusive lower bound of bucket `index`.
+double histogram_bucket_floor(std::size_t index);
+
+/// Merged view of one metric across all shards, returned by scrape().
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter total or gauge value; histogram sum of observations.
+  double value = 0.0;
+  /// Publish count (counter adds / gauge sets / histogram observations).
+  std::uint64_t count = 0;
+  double min = 0.0;  // histogram only
+  double max = 0.0;  // histogram only
+  /// kHistogramBuckets entries for histograms, empty otherwise.
+  std::vector<std::uint64_t> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  /// Registrations are capped so shards can be fixed-size atomic arrays
+  /// (atomics cannot live in resizable vectors).
+  static constexpr std::size_t kMaxMetrics = 128;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or looks up) `name`.  Re-registering an existing name with
+  /// the same kind returns the existing id; a kind mismatch throws.
+  Id register_metric(std::string_view name, MetricKind kind);
+
+  /// Publishing.  All are no-ops while the registry is disabled; when
+  /// enabled they touch only the calling thread's shard (counters,
+  /// histograms) or a single central atomic (gauges).
+  void add(Id id, double delta);
+  void set(Id id, double value);
+  void observe(Id id, double value);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Merges every shard into per-metric snapshots, in registration order.
+  std::vector<MetricSnapshot> scrape() const;
+
+  /// Snapshot of one metric by name; a zeroed snapshot with an empty name
+  /// when unregistered.  Convenience for tests and exporters.
+  MetricSnapshot find(std::string_view name) const;
+
+  /// Counter/gauge value by name (0 when unregistered).
+  double value(std::string_view name) const { return find(name).value; }
+
+  /// Zeroes every shard and gauge, keeping registrations.  Callers must
+  /// quiesce publishing threads first (test/scrape-cycle use only).
+  void reset();
+
+  std::size_t metric_count() const;
+
+  /// The process-wide registry every instrumentation site publishes into.
+  static MetricsRegistry& global();
+
+ private:
+  struct Shard;
+
+  Shard& local_shard();
+  const Shard* shard_for_scrape(std::size_t index) const;
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t uid_;  // process-unique; keys the thread-local cache
+
+  mutable std::mutex mu_;  // guards names_/kinds_/shards_ structure
+  std::vector<std::string> names_;
+  std::vector<MetricKind> kinds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Gauges are last-writer-wins; one central slot each (not sharded).
+  std::array<std::atomic<double>, kMaxMetrics> gauges_{};
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> gauge_counts_{};
+};
+
+inline bool metrics_enabled() { return MetricsRegistry::global().enabled(); }
+inline void set_metrics_enabled(bool enabled) {
+  MetricsRegistry::global().set_enabled(enabled);
+}
+
+/// Typed handles binding a name in the global registry at construction.
+/// Instrumentation sites declare them `static const` so registration runs
+/// once; publishing is enabled-gated and therefore free when off.
+class Counter {
+ public:
+  explicit Counter(std::string_view name)
+      : id_(MetricsRegistry::global().register_metric(name,
+                                                      MetricKind::kCounter)) {}
+  void add(double delta) const {
+    auto& registry = MetricsRegistry::global();
+    if (registry.enabled()) {
+      registry.add(id_, delta);
+    }
+  }
+  void increment() const { add(1.0); }
+
+ private:
+  MetricsRegistry::Id id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name)
+      : id_(MetricsRegistry::global().register_metric(name,
+                                                      MetricKind::kGauge)) {}
+  void set(double value) const {
+    auto& registry = MetricsRegistry::global();
+    if (registry.enabled()) {
+      registry.set(id_, value);
+    }
+  }
+
+ private:
+  MetricsRegistry::Id id_;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::string_view name)
+      : id_(MetricsRegistry::global().register_metric(
+            name, MetricKind::kHistogram)) {}
+  void observe(double value) const {
+    auto& registry = MetricsRegistry::global();
+    if (registry.enabled()) {
+      registry.observe(id_, value);
+    }
+  }
+
+ private:
+  MetricsRegistry::Id id_;
+};
+
+}  // namespace marsit::obs

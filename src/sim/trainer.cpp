@@ -4,6 +4,8 @@
 
 #include "collectives/aggregators.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -119,6 +121,12 @@ void DistributedTrainer::worker_round(std::size_t worker, std::size_t round,
   }
 }
 
+void DistributedTrainer::copy_params_into(std::span<float> out) const {
+  MARSIT_CHECK(out.size() == param_count_)
+      << "param copy extent " << out.size() << " vs " << param_count_;
+  replicas_.front().copy_params_into(out);
+}
+
 EvalPoint DistributedTrainer::evaluate(std::size_t samples) {
   EvalPoint point;
   point.sim_seconds = cumulative_seconds_;
@@ -187,13 +195,33 @@ TrainResult DistributedTrainer::train() {
     for (std::size_t w = 0; w < m; ++w) {
       spans.push_back(updates_[w].span());
     }
+    // Round timeline: [round_start, sync_start] is compute, the collective
+    // runs from sync_start with a local clock.  Publishing sync_start as the
+    // session's time offset lets the nested emitters (timing schedules,
+    // NetworkSim) place their spans on the global simulated timeline.
+    const double round_start = cumulative_seconds_;
+    const double sync_start = round_start + compute_seconds;
+    obs::TraceSession* const trace = obs::TraceSession::current();
+    if (trace != nullptr) {
+      trace->set_time_offset(sync_start);
+    }
     const SyncStepResult step =
         strategy_.synchronize(spans, global_update_.span());
+    const double sync_end = sync_start + step.timing.completion_seconds;
+    if (trace != nullptr) {
+      trace->add_span("round " + std::to_string(t), "round", round_start,
+                      sync_end, /*track=*/0);
+      trace->add_span("compute", "compute", round_start, sync_start,
+                      /*track=*/0);
+      trace->add_span("sync", "sync", sync_start, sync_end, /*track=*/0);
+    }
 
+    double round_matching_rate = 0.0;
     if (config_.track_matching_rate) {
       aggregate_mean(spans, exact_mean.span());
-      matching_total +=
+      round_matching_rate =
           sign_matching_rate(exact_mean.span(), global_update_.span());
+      matching_total += round_matching_rate;
     }
 
     for (auto& replica : replicas_) {
@@ -215,6 +243,46 @@ TrainResult DistributedTrainer::train() {
     phase_totals.communication += step.timing.communication_seconds();
     result.rounds_completed = t + 1;
 
+    if (trace != nullptr) {
+      // One JSONL object per round.  `wire_bits` carries exactly the value
+      // accumulated into cumulative_bits_ above, so summing the stream
+      // reproduces TrainResult::total_wire_bits bit-for-bit.
+      obs::RoundRecord record;
+      record.round = t;
+      record.set("sim_seconds", cumulative_seconds_);
+      record.set("compute_seconds", compute_seconds);
+      record.set("sync_seconds", step.timing.completion_seconds);
+      record.set("wire_bits", step.timing.total_wire_bits);
+      record.set("retransmitted_wire_bits",
+                 step.timing.retransmitted_wire_bits);
+      record.set("retransmissions",
+                 static_cast<double>(step.timing.retransmissions));
+      record.set("active_workers",
+                 static_cast<double>(step.active_workers));
+      record.set("bits_per_element", step.bits_per_element);
+      record.set("full_precision", step.full_precision ? 1.0 : 0.0);
+      record.set("compression_seconds",
+                 step.timing.compression_seconds_per_worker());
+      record.set("communication_seconds",
+                 step.timing.communication_seconds());
+      if (config_.track_matching_rate) {
+        record.set("matching_rate", round_matching_rate);
+      }
+      trace->add_round_record(std::move(record));
+    }
+    if (obs::metrics_enabled()) {
+      static const obs::Counter rounds_counter("trainer.rounds");
+      static const obs::Gauge sim_seconds("trainer.sim_seconds");
+      static const obs::Gauge eta_l_gauge("trainer.eta_l");
+      rounds_counter.increment();
+      sim_seconds.set(cumulative_seconds_);
+      eta_l_gauge.set(static_cast<double>(eta_l));
+      if (config_.track_matching_rate) {
+        static const obs::Histogram matching_rate("trainer.matching_rate");
+        matching_rate.observe(round_matching_rate);
+      }
+    }
+
     if (!all_finite(global_update_.span()) ||
         !all_finite(updates_.front().span())) {
       result.diverged = true;
@@ -231,6 +299,12 @@ TrainResult DistributedTrainer::train() {
       result.best_test_accuracy =
           std::max(result.best_test_accuracy, point.test_accuracy);
       result.evals.push_back(point);
+      if (obs::metrics_enabled()) {
+        static const obs::Counter evals("trainer.evals");
+        static const obs::Gauge test_accuracy("trainer.test_accuracy");
+        evals.increment();
+        test_accuracy.set(point.test_accuracy);
+      }
       if (config_.stop_accuracy &&
           point.test_accuracy >= *config_.stop_accuracy) {
         result.reached_stop_accuracy = true;

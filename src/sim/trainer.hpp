@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/sync_strategy.hpp"
@@ -125,6 +126,10 @@ class DistributedTrainer {
 
   /// Evaluates replica 0 on `samples` held-out examples.
   EvalPoint evaluate(std::size_t samples);
+
+  /// Copies replica 0's current parameters into `out` (extent must equal
+  /// param_count()); the golden determinism test hashes these.
+  void copy_params_into(std::span<float> out) const;
 
  private:
   void worker_round(std::size_t worker, std::size_t round, float eta_l);

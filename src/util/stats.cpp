@@ -50,4 +50,87 @@ double binomial_z_score(std::size_t successes, std::size_t trials, double p) {
   return (static_cast<double>(successes) - expected) / sd;
 }
 
+namespace {
+
+/// P(a, x) by the power series, converging fast for x < a + 1
+/// (Numerical Recipes' gser).
+double lower_gamma_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) by the modified Lentz continued fraction, converging fast for
+/// x ≥ a + 1 (Numerical Recipes' gcf).
+double upper_gamma_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) {
+      break;
+    }
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double upper_regularized_gamma(double a, double x) {
+  MARSIT_CHECK(a > 0.0) << "gamma shape must be positive, got " << a;
+  MARSIT_CHECK(x >= 0.0) << "gamma argument must be non-negative, got " << x;
+  if (x == 0.0) {
+    return 1.0;
+  }
+  return x < a + 1.0 ? 1.0 - lower_gamma_series(a, x) : upper_gamma_cf(a, x);
+}
+
+double chi_square_p_value(double statistic, std::size_t dof) {
+  MARSIT_CHECK(dof > 0) << "chi-square needs at least one degree of freedom";
+  MARSIT_CHECK(statistic >= 0.0) << "negative chi-square statistic "
+                                 << statistic;
+  return upper_regularized_gamma(static_cast<double>(dof) / 2.0,
+                                 statistic / 2.0);
+}
+
+double chi_square_statistic(const std::vector<std::size_t>& observed,
+                            const std::vector<double>& expected) {
+  MARSIT_CHECK(!observed.empty()) << "empty observation vector";
+  MARSIT_CHECK(observed.size() == expected.size())
+      << observed.size() << " observed cells vs " << expected.size()
+      << " expected";
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    MARSIT_CHECK(expected[i] > 0.0)
+        << "expected count " << expected[i] << " in cell " << i;
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    statistic += diff * diff / expected[i];
+  }
+  return statistic;
+}
+
 }  // namespace marsit

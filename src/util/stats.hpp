@@ -36,4 +36,19 @@ double percentile(std::vector<double> samples, double q);
 /// machinery without flakiness.
 double binomial_z_score(std::size_t successes, std::size_t trials, double p);
 
+/// Upper regularized incomplete gamma Q(a, x) = Γ(a, x)/Γ(a) for a > 0,
+/// x ≥ 0 — series expansion below x < a+1, continued fraction above.
+double upper_regularized_gamma(double a, double x);
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom: P(X² ≥ statistic) = Q(dof/2, statistic/2).  The statistical
+/// tests reject at tiny thresholds (e.g. p < 1e-7) so seeded runs never
+/// flake.
+double chi_square_p_value(double statistic, std::size_t dof);
+
+/// Pearson chi-square goodness-of-fit statistic of observed counts against
+/// expected counts (same length, every expected count positive).
+double chi_square_statistic(const std::vector<std::size_t>& observed,
+                            const std::vector<double>& expected);
+
 }  // namespace marsit

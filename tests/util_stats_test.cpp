@@ -1,0 +1,112 @@
+// Unit tests for the chi-square machinery in util/stats — the p-value
+// transform the statistical harness (core_one_bit_stat_test) rejects on.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(ChiSquareTest, ZeroStatisticHasPValueOne) {
+  for (std::size_t dof : {1u, 2u, 5u, 30u}) {
+    EXPECT_DOUBLE_EQ(chi_square_p_value(0.0, dof), 1.0);
+  }
+}
+
+TEST(ChiSquareTest, TwoDofIsExactlyExponential) {
+  // With 2 dof, P(X² ≥ x) = exp(−x/2) in closed form.
+  for (double x : {0.5, 1.0, 3.0, 10.0, 40.0}) {
+    EXPECT_NEAR(chi_square_p_value(x, 2), std::exp(-x / 2.0),
+                1e-12 * std::exp(-x / 2.0) + 1e-300);
+  }
+}
+
+TEST(ChiSquareTest, OneDofMatchesErfc) {
+  // With 1 dof, P(X² ≥ x) = erfc(√(x/2)).
+  for (double x : {0.1, 1.0, 3.841, 6.635, 25.0}) {
+    EXPECT_NEAR(chi_square_p_value(x, 1), std::erfc(std::sqrt(x / 2.0)),
+                1e-10);
+  }
+}
+
+TEST(ChiSquareTest, MatchesTabulatedCriticalValues) {
+  // Classic critical-value table rows: p(upper tail) at the 5% and 1%
+  // quantiles for a few dof.
+  EXPECT_NEAR(chi_square_p_value(3.841, 1), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_p_value(11.070, 5), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_p_value(18.307, 10), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_p_value(23.209, 10), 0.01, 5e-4);
+  EXPECT_NEAR(chi_square_p_value(43.773, 30), 0.05, 5e-4);
+}
+
+TEST(ChiSquareTest, MonotoneDecreasingInStatistic) {
+  double prev = 1.1;
+  for (double x = 0.0; x <= 60.0; x += 1.5) {
+    const double p = chi_square_p_value(x, 7);
+    EXPECT_LT(p, prev);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+}
+
+TEST(ChiSquareTest, DeepTailStaysFiniteAndPositive) {
+  // The stat harness thresholds at 1e−7; the transform must stay usable far
+  // past that without underflowing to zero or going negative.
+  const double p = chi_square_p_value(120.0, 10);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-18);
+}
+
+TEST(ChiSquareTest, RejectsDegenerateArguments) {
+  EXPECT_THROW(chi_square_p_value(1.0, 0), CheckError);
+  EXPECT_THROW(chi_square_p_value(-0.5, 3), CheckError);
+  EXPECT_THROW(upper_regularized_gamma(0.0, 1.0), CheckError);
+  EXPECT_THROW(upper_regularized_gamma(1.0, -1.0), CheckError);
+}
+
+TEST(ChiSquareTest, RegularizedGammaComplement) {
+  // Q(a, x) → 1 at x = 0 and → 0 as x → ∞, and matches erfc at a = 1/2:
+  // Q(1/2, x) = erfc(√x).
+  EXPECT_DOUBLE_EQ(upper_regularized_gamma(3.0, 0.0), 1.0);
+  EXPECT_LT(upper_regularized_gamma(3.0, 100.0), 1e-30);
+  for (double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(upper_regularized_gamma(0.5, x), std::erfc(std::sqrt(x)),
+                1e-10);
+  }
+}
+
+TEST(ChiSquareStatisticTest, PerfectFitIsZero) {
+  EXPECT_DOUBLE_EQ(
+      chi_square_statistic({10, 20, 30}, {10.0, 20.0, 30.0}), 0.0);
+}
+
+TEST(ChiSquareStatisticTest, HandComputedExample) {
+  // Cells (observed 8, expected 10) and (observed 12, expected 10):
+  // 4/10 + 4/10 = 0.8.
+  EXPECT_NEAR(chi_square_statistic({8, 12}, {10.0, 10.0}), 0.8, 1e-12);
+}
+
+TEST(ChiSquareStatisticTest, RejectsShapeMismatches) {
+  EXPECT_THROW(chi_square_statistic({}, {}), CheckError);
+  EXPECT_THROW(chi_square_statistic({1, 2}, {1.0}), CheckError);
+  EXPECT_THROW(chi_square_statistic({1}, {0.0}), CheckError);
+}
+
+TEST(ChiSquareTest, UniformSamplesPassAndSkewedSamplesFail) {
+  // Sanity of the whole pipeline: a fair 6-sided tally passes at p > 1e−7,
+  // a loaded one fails decisively.
+  const std::vector<double> expected(6, 100.0);
+  const double fair =
+      chi_square_statistic({95, 104, 99, 108, 96, 98}, expected);
+  EXPECT_GT(chi_square_p_value(fair, 5), 0.5);
+  const double loaded =
+      chi_square_statistic({200, 80, 80, 80, 80, 80}, expected);
+  EXPECT_LT(chi_square_p_value(loaded, 5), 1e-15);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -6,8 +6,13 @@
 // comparison).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+// marsit-lint: allow(header-hygiene): bench mains print via std::cout and
+// this is their shared, bench-only helper header — no library includes it.
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 

@@ -16,6 +16,8 @@
 // the baseline for bench/micro_kernels.cpp.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "compress/bit_vector.hpp"

@@ -83,8 +83,11 @@ StochasticObjective make_quadratic_objective(std::size_t dimension,
 
   // Worker targets b_m ~ N(0, 1)^d; F(x) = (1/M) Σ ½‖x − b_m‖², whose
   // gradient is x − mean(b).
+  // Stream discipline: the root seed is never fed to an Rng directly.
+  // Stream 0 draws the worker targets; stream 1 parents the per-(round,
+  // worker) gradient-noise streams below.
   auto targets = std::make_shared<std::vector<Tensor>>();
-  Rng rng(seed);
+  Rng rng(derive_seed(seed, 0));
   for (std::size_t w = 0; w < num_workers; ++w) {
     Tensor b(dimension);
     fill_normal(b.span(), rng, 0.0f, 1.0f);
@@ -100,7 +103,10 @@ StochasticObjective make_quadratic_objective(std::size_t dimension,
     const Tensor& b = (*targets)[worker];
     sub(x, b.span(), grad);
     if (sigma > 0.0) {
-      Rng noise(derive_seed(seed ^ 0x5eedf00dULL,
+      // (seed, round, entity) derivation: noise for (round, worker) is a
+      // child of stream 1, independent of the target stream regardless of
+      // how many draws that stream consumed.
+      Rng noise(derive_seed(derive_seed(seed, 1),
                             round * targets->size() + worker));
       for (std::size_t i = 0; i < dimension; ++i) {
         grad[i] += static_cast<float>(noise.normal(0.0, sigma));

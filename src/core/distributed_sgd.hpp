@@ -12,8 +12,11 @@
 // the theory-validation benches.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/sync_strategy.hpp"

@@ -1,6 +1,7 @@
 #include "core/one_bit.hpp"
 
 #include "util/check.hpp"
+#include "util/validate.hpp"
 
 namespace marsit {
 
@@ -11,8 +12,15 @@ void one_bit_combine_words(std::span<std::uint64_t> a, std::size_t weight_a,
       << "one_bit_combine word spans " << a.size() << " vs " << b.size();
   MARSIT_CHECK(weight_a > 0 && weight_b > 0)
       << "aggregate weights must be positive";
+  MARSIT_VALIDATE_CALL(validate::hop_weights(weight_a, weight_b));
   const double p_take_a = static_cast<double>(weight_a) /
                           static_cast<double>(weight_a + weight_b);
+  // Eq. 2 contract: the take-probability pair is a distribution — each bit
+  // keeps a's value with p_take_a, b's with the complement.
+  MARSIT_VALIDATE_CALL({
+    const double take[] = {p_take_a, 1.0 - p_take_a};
+    validate::probability_table(take, "one_bit_combine take-probabilities");
+  });
   for (std::size_t w = 0; w < a.size(); ++w) {
     const std::uint64_t wa = a[w];
     const std::uint64_t wb = b[w];

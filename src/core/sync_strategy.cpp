@@ -12,6 +12,7 @@
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
+#include "util/validate.hpp"
 
 namespace marsit {
 
@@ -61,8 +62,13 @@ void note_elias_refresh(std::size_t round) {
 }
 
 /// Publishes the per-round synchronization metrics.  Pure observation of the
-/// already-computed step result; called with metrics enabled.
+/// already-computed step result.
 void publish_sync_metrics(const SyncStepResult& result, bool degraded) {
+  // Self-contained guard (the caller also checks): keeps the helper safe to
+  // call from anywhere without re-paying metric registration.
+  if (!obs::metrics_enabled()) {
+    return;
+  }
   static const obs::Counter rounds("sync.rounds");
   static const obs::Counter degraded_rounds("sync.degraded_rounds");
   static const obs::Counter full_precision_rounds(
@@ -140,6 +146,10 @@ SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
                        w);
       }
     }
+    // Contract: whatever degradation + quorum re-admission produced must be
+    // a valid membership — sorted unique ids in range, at least 2 of them —
+    // before any paradigm re-forms over it.
+    MARSIT_VALIDATE_CALL(validate::membership(active_, config_.num_workers));
   }
   SyncStepResult result = do_synchronize(inputs, out);
   result.active_workers = active_.size();
@@ -172,10 +182,15 @@ CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
       // A degraded torus re-forms as a smaller torus while the survivors
       // still fill whole rows, else the round runs as a ring of survivors.
       if (m == config_.num_workers) {
+        MARSIT_VALIDATE_CALL(validate::torus_shape(config_.torus_rows,
+                                                   config_.torus_cols, m));
         return torus_allreduce_timing(config_.torus_rows, config_.torus_cols,
                                       d, wire, net_);
       }
       if (m % config_.torus_cols == 0 && m / config_.torus_cols >= 2) {
+        MARSIT_VALIDATE_CALL(
+            validate::torus_shape(m / config_.torus_cols, config_.torus_cols,
+                                  m));
         return torus_allreduce_timing(m / config_.torus_cols,
                                       config_.torus_cols, d, wire, net_);
       }
@@ -344,6 +359,7 @@ void sharded_majority_sync(const WorkerSpans& inputs, SignSum& sum,
       (signs_out->size() != m || signs_out->front().size() != d)) {
     signs_out->assign(m, BitVector(d));
   }
+  MARSIT_VALIDATE_CALL(validate_shard_plan(plan));
   parallel_for(*cfg.pool, plan.num_chunks(), [&](std::size_t c) {
     const Shard shard = plan.chunk(c);
     const std::size_t n = shard.size();
@@ -590,11 +606,16 @@ MarsitSync::MarsitSync(SyncConfig config, MarsitOptions options)
 }
 
 std::string MarsitSync::name() const {
+  // Appends (not operator+ chains): gcc 12's -Wrestrict misfires on
+  // libstdc++'s operator+(const char*, string&&) when it inlines here.
   std::string base = "Marsit";
   if (options_.full_precision_period > 0) {
-    base += "-" + std::to_string(options_.full_precision_period);
+    base += '-';
+    base += std::to_string(options_.full_precision_period);
   }
-  return base + "-" + mar_paradigm_name(config_.paradigm);
+  base += '-';
+  base += mar_paradigm_name(config_.paradigm);
+  return base;
 }
 
 double MarsitSync::mean_compensation_norm() const {
@@ -734,6 +755,7 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
   }
   const std::uint64_t round_seed = derive_seed(config_.seed, round_);
   const ShardPlan plan(d, config_.shard_chunk_elements);
+  MARSIT_VALIDATE_CALL(validate_shard_plan(plan));
   parallel_for(strategy_pool(config_), plan.num_chunks(),
                [&](std::size_t c) {
     const Shard shard = plan.chunk(c);

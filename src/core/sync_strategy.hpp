@@ -13,8 +13,11 @@
 // strategy's topology (ring / 2-D torus / parameter server).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,7 +62,7 @@ struct SyncConfig {
   /// Elements per sharded chunk (rounded up to whole 64-bit sign words).
   /// Part of the deterministic geometry: changing it changes the per-chunk
   /// RNG streams, so treat it as a tuning constant, not a runtime knob.
-  std::size_t shard_chunk_elements = 1 << 16;
+  std::size_t shard_chunk_elements = std::size_t{1} << 16;
   /// Fault injection (see net/fault_plan.hpp).  Link-level faults flow into
   /// NetworkSim (retries, jitter, outages, stragglers inflate the timing);
   /// membership faults mark workers absent for whole rounds, and every

@@ -8,6 +8,10 @@
 // visibly degrades or diverges).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
 #include "data/dataset.hpp"
 #include "nn/conv.hpp"
 

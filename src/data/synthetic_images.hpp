@@ -9,6 +9,11 @@
 // error separates the methods (Table 2, Figures 3/4).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "data/dataset.hpp"
 #include "nn/conv.hpp"
 

@@ -8,6 +8,10 @@
 // separable.  Trained with Adam like the paper's DistilBERT task.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
 #include "data/dataset.hpp"
 
 namespace marsit {

@@ -1,6 +1,10 @@
 // Parameter-free layers: ReLU and Flatten.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 

@@ -1,6 +1,11 @@
 // 2-D convolution and pooling layers (NCHW layout, square kernels).
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 

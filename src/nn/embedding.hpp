@@ -2,6 +2,11 @@
 // substrate standing in for DistilBERT on IMDb (DESIGN.md §2).
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 

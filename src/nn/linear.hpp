@@ -1,6 +1,10 @@
 // Fully connected layer: y = x·Wᵀ + b, W stored (out×in) row-major.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+
 #include "nn/layer.hpp"
 #include "tensor/tensor.hpp"
 

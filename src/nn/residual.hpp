@@ -4,6 +4,11 @@
 // convs.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "nn/conv.hpp"
 #include "nn/sequential.hpp"
 #include "tensor/tensor.hpp"

@@ -3,7 +3,10 @@
 // synchronization strategies operate on.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "nn/layer.hpp"

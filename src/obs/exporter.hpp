@@ -18,6 +18,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "obs/trace.hpp"
 

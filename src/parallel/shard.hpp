@@ -13,6 +13,9 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+
+#include "util/validate.hpp"
 
 namespace marsit {
 
@@ -59,5 +62,36 @@ class ShardPlan {
   std::size_t total_;
   std::size_t chunk_;
 };
+
+/// MARSIT_VALIDATE contract: the chunk grid tiles [0, total()) exactly once
+/// — word-aligned begins, contiguous non-empty ranges, nothing dropped or
+/// double-covered.  Sharded sync calls this (gated behind
+/// MARSIT_VALIDATE_CALL) before fanning chunks out to the pool; it is always
+/// compiled so tests can exercise it in any build mode.
+inline void validate_shard_plan(const ShardPlan& plan) {
+  std::size_t expected_begin = 0;
+  const std::size_t chunks = plan.num_chunks();
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Shard shard = plan.chunk(c);
+    if (shard.index != c || shard.begin != expected_begin ||
+        shard.begin % 64 != 0 || shard.end <= shard.begin ||
+        shard.end > plan.total()) {
+      validate::fail("shard-plan",
+                     "chunk " + std::to_string(c) + " covers [" +
+                         std::to_string(shard.begin) + ", " +
+                         std::to_string(shard.end) + ") but [" +
+                         std::to_string(expected_begin) +
+                         ", ...) was expected in the tile of [0, " +
+                         std::to_string(plan.total()) + ")");
+    }
+    expected_begin = shard.end;
+  }
+  if (expected_begin != plan.total()) {
+    validate::fail("shard-plan",
+                   "grid ends at " + std::to_string(expected_begin) +
+                       " leaving [" + std::to_string(expected_begin) + ", " +
+                       std::to_string(plan.total()) + ") uncovered");
+  }
+}
 
 }  // namespace marsit

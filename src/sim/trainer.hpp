@@ -20,7 +20,10 @@
 // wall-clock (DESIGN.md §2).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>

@@ -10,6 +10,7 @@
 #include <initializer_list>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace marsit {

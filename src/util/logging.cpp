@@ -31,6 +31,8 @@ std::mutex& emit_mutex() {
 }
 
 double elapsed_seconds() {
+  // marsit-lint: allow(determinism): log-line timestamps annotate stderr
+  // only; nothing downstream (digests, wire payloads, timings) reads them.
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   return std::chrono::duration<double>(Clock::now() - start).count();

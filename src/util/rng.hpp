@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 
 namespace marsit {
 
@@ -46,6 +47,9 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  // marsit-lint: allow(rng-discipline): the project-wide default root seed
+  // ("marsit" in ASCII) — the single legitimate literal seeding point; every
+  // other stream must reach an Rng through derive_seed(seed, stream).
   explicit Rng(std::uint64_t seed = 0x6d61727369740001ULL);
 
   static constexpr result_type min() { return 0; }

@@ -1,0 +1,110 @@
+#include "util/validate.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace marsit {
+
+namespace detail {
+
+void throw_validate_error(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  std::ostringstream out;
+  out << "MARSIT_VALIDATE failed: (" << expr << ") at " << file << ":"
+      << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  throw ValidateError(out.str());
+}
+
+}  // namespace detail
+
+namespace validate {
+
+void fail(const char* contract, const std::string& detail) {
+  std::ostringstream out;
+  out << "MARSIT_VALIDATE contract '" << contract << "' violated: " << detail;
+  throw ValidateError(out.str());
+}
+
+void hop_weights(std::size_t weight_a, std::size_t weight_b) {
+  if (weight_a == 0 || weight_b == 0) {
+    std::ostringstream out;
+    out << "aggregate weights (" << weight_a << ", " << weight_b
+        << ") must both be >= 1 (Eq. 2 hop index m >= 1)";
+    fail("hop-weights", out.str());
+  }
+  if (weight_a > std::numeric_limits<std::size_t>::max() - weight_b) {
+    std::ostringstream out;
+    out << "aggregate weights (" << weight_a << ", " << weight_b
+        << ") overflow their sum";
+    fail("hop-weights", out.str());
+  }
+}
+
+void probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // negated so NaN also fails
+    std::ostringstream out;
+    out << what << " = " << p << " is not a probability in [0, 1]";
+    fail("probability", out.str());
+  }
+}
+
+void probability_table(std::span<const double> table, const char* what,
+                       double tolerance) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!(table[i] >= 0.0 && table[i] <= 1.0)) {
+      std::ostringstream out;
+      out << what << "[" << i << "] = " << table[i]
+          << " is not a probability in [0, 1]";
+      fail("probability-table", out.str());
+    }
+    total += table[i];
+  }
+  if (std::abs(total - 1.0) > tolerance) {
+    std::ostringstream out;
+    out << what << " sums to " << total << ", expected 1 within "
+        << tolerance;
+    fail("probability-table", out.str());
+  }
+}
+
+void membership(std::span<const std::size_t> members,
+                std::size_t num_workers) {
+  if (members.size() < 2) {
+    std::ostringstream out;
+    out << "active membership has " << members.size()
+        << " workers; a reduction needs at least 2";
+    fail("membership", out.str());
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] >= num_workers) {
+      std::ostringstream out;
+      out << "member " << members[i] << " out of range [0, " << num_workers
+          << ")";
+      fail("membership", out.str());
+    }
+    if (i > 0 && members[i] <= members[i - 1]) {
+      std::ostringstream out;
+      out << "members " << members[i - 1] << ", " << members[i]
+          << " out of order at position " << i
+          << "; membership must be strictly increasing";
+      fail("membership", out.str());
+    }
+  }
+}
+
+void torus_shape(std::size_t rows, std::size_t cols,
+                 std::size_t num_workers) {
+  if (rows < 2 || cols < 2 || rows * cols != num_workers) {
+    std::ostringstream out;
+    out << "torus " << rows << "x" << cols << " does not tile "
+        << num_workers << " workers with degree >= 2 per axis";
+    fail("torus-shape", out.str());
+  }
+}
+
+}  // namespace validate
+}  // namespace marsit

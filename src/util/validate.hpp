@@ -1,0 +1,150 @@
+// Debug-build contract validation for the synchronization pipeline.
+//
+// MARSIT_CHECK (check.hpp) guards API boundaries and is always on.  The
+// contracts here are the *algorithmic* invariants of the paper's Eq. 2
+// pipeline — ⊙ fold weights, take-probability tables, shard-grid coverage,
+// post-degradation membership — which sit on hot paths where an always-on
+// check would tax every round.  They compile to nothing unless the build
+// defines MARSIT_VALIDATE_BUILD (CMake: -DMARSIT_VALIDATE=ON), and when
+// enabled they must stay *observationally pure*: no RNG draws, no writes to
+// anything the pipeline reads, so a validate build produces bit-identical
+// golden digests to a plain Release build.
+//
+// Two forms:
+//
+//   MARSIT_VALIDATE(i < n) << "optional streamed detail";
+//     Expression contract.  In validate builds a failure throws
+//     marsit::ValidateError; otherwise the expression is type-checked but
+//     never evaluated (short-circuited constant fold, zero codegen).
+//
+//   MARSIT_VALIDATE_CALL(validate::membership(active, world));
+//     Statement contract for the checker functions below.  The statement is
+//     discarded entirely outside validate builds.
+//
+// The checker functions themselves are always compiled and exported (tests
+// exercise them in every build mode); only the *call sites* are gated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+#ifdef MARSIT_VALIDATE_BUILD
+#define MARSIT_VALIDATE_ENABLED 1
+#else
+#define MARSIT_VALIDATE_ENABLED 0
+#endif
+
+namespace marsit {
+
+/// Thrown when a MARSIT_VALIDATE contract fails.  Derives from CheckError so
+/// existing catch sites treat a contract violation like any failed check.
+class ValidateError : public CheckError {
+ public:
+  explicit ValidateError(const std::string& what) : CheckError(what) {}
+};
+
+namespace detail {
+
+/// Builds and throws the ValidateError for a failed contract; out-of-line so
+/// every call site contributes only the streamed-message slow path.
+[[noreturn]] void throw_validate_error(const char* expr, const char* file,
+                                       int line, const std::string& msg);
+
+/// Accumulates the optional streamed message of a MARSIT_VALIDATE.  Only
+/// instantiated on the failure path.
+class ValidateMessageBuilder {
+ public:
+  ValidateMessageBuilder(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  ValidateMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void fail() const {
+    throw_validate_error(expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Turns the builder expression into a [[noreturn]] statement (same shape as
+/// CheckFailTrigger so the two macros read identically).
+struct ValidateFailTrigger {
+  [[noreturn]] void operator&(const ValidateMessageBuilder& builder) const {
+    builder.fail();
+  }
+};
+
+}  // namespace detail
+
+namespace validate {
+
+/// Throws ValidateError for a named contract; the checkers below funnel
+/// through this so their messages share one format.
+[[noreturn]] void fail(const char* contract, const std::string& detail);
+
+/// ⊙ fold weights: both aggregates must carry at least one worker (the hop
+/// index m of Eq. 2 is >= 1) and their sum must not wrap.
+void hop_weights(std::size_t weight_a, std::size_t weight_b);
+
+/// A single probability: finite and within [0, 1].
+void probability(double p, const char* what);
+
+/// A discrete distribution: every entry in [0, 1] and the total within
+/// `tolerance` of 1.  The ⊙ operator's take-probability pair
+/// (m/(m+1), 1/(m+1)) is the canonical caller.
+void probability_table(std::span<const double> table, const char* what,
+                       double tolerance = 1e-9);
+
+/// Post-degradation membership: strictly increasing worker ids, all within
+/// [0, num_workers), and at least quorum (2) of them — what the re-formed
+/// ring/torus/tree paradigms assume of active_workers().
+void membership(std::span<const std::size_t> members, std::size_t num_workers);
+
+/// A (re-formed) torus shape: rows and cols both >= 2 and tiling exactly
+/// `num_workers` members.
+void torus_shape(std::size_t rows, std::size_t cols, std::size_t num_workers);
+
+}  // namespace validate
+}  // namespace marsit
+
+#if MARSIT_VALIDATE_ENABLED
+
+#define MARSIT_VALIDATE(expr)                                                \
+  if (expr) {                                                                \
+  } else                                                                     \
+    ::marsit::detail::ValidateFailTrigger{} &                                \
+        ::marsit::detail::ValidateMessageBuilder(#expr, __FILE__, __LINE__)
+
+#define MARSIT_VALIDATE_CALL(...) \
+  do {                            \
+    __VA_ARGS__;                  \
+  } while (false)
+
+#else  // !MARSIT_VALIDATE_ENABLED
+
+// `true || (expr)` keeps the contract expression type-checked while the
+// short-circuit guarantees it is never evaluated; the dead else branch (and
+// its streamed operands) fold away entirely.
+#define MARSIT_VALIDATE(expr)                                                \
+  if (true || static_cast<bool>(expr)) {                                     \
+  } else                                                                     \
+    ::marsit::detail::ValidateFailTrigger{} &                                \
+        ::marsit::detail::ValidateMessageBuilder(#expr, __FILE__, __LINE__)
+
+#define MARSIT_VALIDATE_CALL(...) \
+  do {                            \
+  } while (false)
+
+#endif  // MARSIT_VALIDATE_ENABLED

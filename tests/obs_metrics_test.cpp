@@ -31,7 +31,11 @@ TEST(MetricsRegistryTest, KindMismatchThrows) {
 TEST(MetricsRegistryTest, RegistrationCapEnforced) {
   MetricsRegistry registry;
   for (std::size_t i = 0; i < MetricsRegistry::kMaxMetrics; ++i) {
-    registry.register_metric("m" + std::to_string(i), MetricKind::kCounter);
+    // Append, not operator+: gcc 12's -Wrestrict misfires when it inlines
+    // libstdc++'s operator+(const char*, string&&) here.
+    std::string name = "m";
+    name += std::to_string(i);
+    registry.register_metric(name, MetricKind::kCounter);
   }
   EXPECT_THROW(registry.register_metric("overflow", MetricKind::kCounter),
                CheckError);

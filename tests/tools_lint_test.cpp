@@ -1,0 +1,216 @@
+// Pins marsit_lint's rule registry: each rule R1–R5 has a fixture snippet
+// that triggers it exactly once, the suppression mechanism is exercised in
+// both its valid and malformed forms, and — the actual quality gate — the
+// checked-in tree itself must lint clean.
+//
+// Fixtures are linted in-process via lint_source with synthetic repo paths;
+// rule applicability is path-based, so the path chooses which rules see the
+// snippet.  Fixture code lives in string literals, which the linter's lexer
+// consumes whole — so this file cannot trip the clean-tree scan over tests/.
+
+#include "marsit_lint/linter.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace marsit_lint {
+namespace {
+
+std::string describe(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& finding : findings) {
+    out += format_finding(finding);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(MarsitLintTest, RuleRegistryIsStable) {
+  const auto& rules = all_rules();
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_TRUE(is_known_rule("rng-discipline"));
+  EXPECT_TRUE(is_known_rule("determinism"));
+  EXPECT_TRUE(is_known_rule("kernel-safety"));
+  EXPECT_TRUE(is_known_rule("header-hygiene"));
+  EXPECT_TRUE(is_known_rule("obs-gating"));
+  EXPECT_FALSE(is_known_rule("suppression"));  // pseudo-rule, not allowable
+}
+
+TEST(MarsitLintTest, R1FlagsStdRngOnce) {
+  const auto findings = lint_source(
+      "src/data/fixture.cpp",
+      "#include <random>\n"
+      "int f() { std::mt19937 gen; return static_cast<int>(gen()); }\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(MarsitLintTest, R1FlagsLiteralSeedOnce) {
+  const auto findings = lint_source(
+      "src/sim/fixture.cpp", "marsit::Rng rng(12345);\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+}
+
+TEST(MarsitLintTest, R1AcceptsDerivedSeed) {
+  const auto findings = lint_source(
+      "src/sim/fixture.cpp", "marsit::Rng rng(derive_seed(seed, 7));\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R2FlagsWallClockOnce) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "determinism");
+}
+
+TEST(MarsitLintTest, R2IgnoresTestsAndObs) {
+  const std::string snippet = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("tests/fixture.cpp", snippet).empty());
+  EXPECT_TRUE(lint_source("src/obs/fixture.cpp", snippet).empty());
+}
+
+TEST(MarsitLintTest, R3FlagsPlainIntShiftOnce) {
+  const auto findings = lint_source(
+      "src/compress/fixture.cpp", "int shifted(int k) { return 1 << k; }\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "kernel-safety");
+}
+
+TEST(MarsitLintTest, R3AcceptsSizedShiftAndStaticCast) {
+  const auto findings = lint_source(
+      "src/compress/fixture.cpp",
+      "std::uint64_t bit(int k) { return std::uint64_t{1} << k; }\n"
+      "int narrowed(double x) { return static_cast<int>(x); }\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R3FlagsCStyleCastAndRawNew) {
+  const auto cast = lint_source("src/core/fixture.cpp",
+                                "int narrowed(double x) { return (int)x; }\n");
+  ASSERT_EQ(cast.size(), 1u) << describe(cast);
+  EXPECT_EQ(cast[0].rule, "kernel-safety");
+
+  const auto raw = lint_source("src/core/fixture.cpp",
+                               "float* alloc() { return new float[4]; }\n");
+  ASSERT_EQ(raw.size(), 1u) << describe(raw);
+  EXPECT_EQ(raw[0].rule, "kernel-safety");
+
+  // `= delete` is declaration syntax, not deallocation.
+  const auto deleted = lint_source(
+      "src/core/fixture.hpp",
+      "#pragma once\n#include <cstddef>\n"
+      "struct S { S(const S&) = delete; };\n");
+  EXPECT_TRUE(deleted.empty()) << describe(deleted);
+}
+
+TEST(MarsitLintTest, R4FlagsUsingNamespaceOnce) {
+  const auto findings = lint_source("src/nn/fixture.hpp",
+                                    "#pragma once\nusing namespace std;\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "header-hygiene");
+}
+
+TEST(MarsitLintTest, R4FlagsMissingIncludeForStdSymbol) {
+  const auto findings = lint_source(
+      "src/nn/fixture.hpp",
+      "#pragma once\nstd::vector<int> xs();\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "header-hygiene");
+
+  const auto satisfied = lint_source(
+      "src/nn/fixture.hpp",
+      "#pragma once\n#include <vector>\nstd::vector<int> xs();\n");
+  EXPECT_TRUE(satisfied.empty()) << describe(satisfied);
+}
+
+TEST(MarsitLintTest, R5FlagsUnguardedMetricOnce) {
+  const auto findings = lint_source(
+      "src/collectives/fixture.cpp",
+      "void publish() {\n"
+      "  static const obs::Counter rounds(\"sync.rounds\");\n"
+      "  rounds.add(1.0);\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "obs-gating");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(MarsitLintTest, R5AcceptsGuardedMetric) {
+  const auto findings = lint_source(
+      "src/collectives/fixture.cpp",
+      "void publish() {\n"
+      "  if (obs::metrics_enabled()) {\n"
+      "    static const obs::Counter rounds(\"sync.rounds\");\n"
+      "    rounds.add(1.0);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, TrailingSuppressionWithReasonSilencesFinding) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "auto t = std::chrono::steady_clock::now();"
+      "  // marsit-lint: allow(determinism): fixture demonstrating "
+      "suppression\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, StandaloneSuppressionCoversNextCodeLine) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "// marsit-lint: allow(determinism): fixture demonstrating "
+      "suppression\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, SuppressionWithoutReasonIsItselfAFinding) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "// marsit-lint: allow(determinism)\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  // The malformed suppression is reported, and the finding it meant to
+  // silence survives (order within one file is unspecified here).
+  EXPECT_TRUE((findings[0].rule == "suppression" &&
+               findings[1].rule == "determinism") ||
+              (findings[0].rule == "determinism" &&
+               findings[1].rule == "suppression"))
+      << describe(findings);
+}
+
+TEST(MarsitLintTest, SuppressionOfUnknownRuleIsReported) {
+  const auto findings = lint_source(
+      "tests/fixture.cpp",
+      "int x = 0;  // marsit-lint: allow(no-such-rule): stale comment\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "suppression");
+}
+
+TEST(MarsitLintTest, FixtureCodeInsideStringsNeverTriggers) {
+  const auto findings = lint_source(
+      "tests/fixture.cpp",
+      "const char* snippet = \"std::mt19937 gen; (int)1.5;\";\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// The gate: the tree this test was built from lints clean.  CI also runs the
+// CLI (`marsit_lint --check src tests bench examples tools`); this assertion
+// keeps the property pinned for anyone running plain ctest.
+TEST(MarsitLintTest, CheckedInTreeLintsClean) {
+  const std::string root = MARSIT_LINT_SOURCE_ROOT;
+  const auto findings =
+      lint_paths({root + "/src", root + "/tests", root + "/bench",
+                  root + "/examples", root + "/tools"});
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+}  // namespace
+}  // namespace marsit_lint

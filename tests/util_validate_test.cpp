@@ -1,0 +1,133 @@
+// Contract-layer tests (util/validate.hpp), meaningful in BOTH build modes:
+//
+//   * The checker functions are always compiled, so every precondition —
+//     ⊙ fold weights, probability tables, membership, torus shape, shard
+//     grids — is pinned here regardless of MARSIT_VALIDATE.
+//   * The MARSIT_VALIDATE macro itself is mode-dependent: validate builds
+//     must throw ValidateError on a violated contract, plain builds must not
+//     even evaluate the contract expression (zero-cost guarantee).
+//
+// Digest parity between the modes (the other half of the acceptance
+// criterion) is enforced by sim_golden_determinism_test: its golden
+// fingerprint deliberately excludes MARSIT_VALIDATE, so a validate build
+// compares against the same committed Release digests.
+
+#include "util/validate.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/shard.hpp"
+
+namespace marsit {
+namespace {
+
+TEST(ValidateContractTest, HopWeightsRequireBothPositive) {
+  EXPECT_NO_THROW(validate::hop_weights(1, 1));
+  EXPECT_NO_THROW(validate::hop_weights(63, 1));  // Eq. 2: m-th hop merge
+  EXPECT_THROW(validate::hop_weights(0, 1), ValidateError);
+  EXPECT_THROW(validate::hop_weights(1, 0), ValidateError);
+}
+
+TEST(ValidateContractTest, HopWeightsRejectOverflowingSum) {
+  const std::size_t huge = ~std::size_t{0};
+  EXPECT_THROW(validate::hop_weights(huge, 2), ValidateError);
+  EXPECT_NO_THROW(validate::hop_weights(huge - 1, 1));
+}
+
+TEST(ValidateContractTest, ProbabilityBounds) {
+  EXPECT_NO_THROW(validate::probability(0.0, "p"));
+  EXPECT_NO_THROW(validate::probability(1.0, "p"));
+  EXPECT_THROW(validate::probability(-0.01, "p"), ValidateError);
+  EXPECT_THROW(validate::probability(1.01, "p"), ValidateError);
+  EXPECT_THROW(validate::probability(std::nan(""), "p"), ValidateError);
+}
+
+TEST(ValidateContractTest, ProbabilityTableMustSumToOne) {
+  const std::vector<double> take = {0.75, 0.25};  // ⊙ at hop m = 3
+  EXPECT_NO_THROW(validate::probability_table(take, "take"));
+  const std::vector<double> leaky = {0.75, 0.2};
+  EXPECT_THROW(validate::probability_table(leaky, "take"), ValidateError);
+  const std::vector<double> negative = {1.25, -0.25};  // sums to 1, invalid
+  EXPECT_THROW(validate::probability_table(negative, "take"), ValidateError);
+}
+
+TEST(ValidateContractTest, MembershipRequiresSortedUniqueQuorum) {
+  const std::vector<std::size_t> good = {0, 2, 3};
+  EXPECT_NO_THROW(validate::membership(good, 4));
+  const std::vector<std::size_t> below_quorum = {1};
+  EXPECT_THROW(validate::membership(below_quorum, 4), ValidateError);
+  const std::vector<std::size_t> duplicate = {1, 1};
+  EXPECT_THROW(validate::membership(duplicate, 4), ValidateError);
+  const std::vector<std::size_t> unsorted = {2, 1};
+  EXPECT_THROW(validate::membership(unsorted, 4), ValidateError);
+  const std::vector<std::size_t> out_of_range = {0, 4};
+  EXPECT_THROW(validate::membership(out_of_range, 4), ValidateError);
+}
+
+TEST(ValidateContractTest, TorusShapeMustTileMembership) {
+  EXPECT_NO_THROW(validate::torus_shape(2, 2, 4));
+  EXPECT_NO_THROW(validate::torus_shape(3, 4, 12));
+  EXPECT_THROW(validate::torus_shape(1, 4, 4), ValidateError);
+  EXPECT_THROW(validate::torus_shape(4, 1, 4), ValidateError);
+  EXPECT_THROW(validate::torus_shape(2, 3, 5), ValidateError);
+}
+
+TEST(ValidateContractTest, ShardPlansCoverExactly) {
+  // The real planner's grids always satisfy the contract, across odd sizes,
+  // word-multiples, and hints smaller than a word.
+  for (const std::size_t total : {1u, 63u, 64u, 65u, 1000u, 65536u}) {
+    for (const std::size_t hint : {0u, 1u, 64u, 100u, 65536u}) {
+      const ShardPlan plan(total, hint);
+      EXPECT_NO_THROW(validate_shard_plan(plan))
+          << "total=" << total << " hint=" << hint;
+    }
+  }
+  EXPECT_NO_THROW(validate_shard_plan(ShardPlan(0, 64)));  // empty grid
+}
+
+TEST(ValidateMacroTest, EnabledModeThrowsDisabledModeSkipsEvaluation) {
+#if MARSIT_VALIDATE_ENABLED
+  EXPECT_THROW(
+      [] { MARSIT_VALIDATE(1 + 1 == 3) << "forced contract failure"; }(),
+      ValidateError);
+  EXPECT_NO_THROW([] { MARSIT_VALIDATE(1 + 1 == 2) << "holds"; }());
+  EXPECT_THROW(
+      [] {
+        const std::vector<std::size_t> lonely = {0};
+        MARSIT_VALIDATE_CALL(validate::membership(lonely, 4));
+      }(),
+      ValidateError);
+#else
+  // Zero-cost guarantee: the contract expression is type-checked but never
+  // evaluated, and gated calls vanish.
+  bool evaluated = false;
+  const auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  MARSIT_VALIDATE(touch()) << "never reached";
+  EXPECT_FALSE(evaluated);
+  const std::vector<std::size_t> lonely = {0};
+  EXPECT_NO_THROW(MARSIT_VALIDATE_CALL(validate::membership(lonely, 4)));
+#endif
+}
+
+TEST(ValidateErrorTest, IsACheckError) {
+  // Catch sites that treat failed checks as programming errors also see
+  // contract violations.
+  try {
+    validate::fail("fixture", "detail text");
+    FAIL() << "validate::fail returned";
+  } catch (const CheckError& error) {
+    EXPECT_NE(std::string(error.what()).find("fixture"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("detail text"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace marsit

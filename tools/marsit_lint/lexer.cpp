@@ -1,0 +1,356 @@
+#include "marsit_lint/lexer.hpp"
+
+#include <cctype>
+
+namespace marsit_lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Cursor over the source with line tracking.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : source_(source) {}
+
+  bool done() const { return pos_ >= source_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from) const {
+    return source_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// Consumes a quoted literal whose opening quote was already consumed.
+/// Handles backslash escapes; stops at the closing quote or end of line
+/// (a lexer-level recovery for malformed code).
+void skip_quoted(Cursor& cursor, char quote) {
+  while (!cursor.done()) {
+    const char c = cursor.peek();
+    if (c == '\\') {
+      cursor.advance();
+      if (!cursor.done()) {
+        cursor.advance();
+      }
+      continue;
+    }
+    if (c == '\n') {
+      return;  // unterminated on this line; do not swallow the file
+    }
+    cursor.advance();
+    if (c == quote) {
+      return;
+    }
+  }
+}
+
+/// Consumes a raw string literal; the cursor sits just past `R"`.
+void skip_raw_string(Cursor& cursor) {
+  std::string delimiter;
+  while (!cursor.done() && cursor.peek() != '(') {
+    delimiter.push_back(cursor.advance());
+  }
+  if (cursor.done()) {
+    return;
+  }
+  cursor.advance();  // '('
+  const std::string closer = ")" + delimiter + "\"";
+  std::string window;
+  while (!cursor.done()) {
+    window.push_back(cursor.advance());
+    if (window.size() > closer.size()) {
+      window.erase(window.begin());
+    }
+    if (window == closer) {
+      return;
+    }
+  }
+}
+
+/// True for a plausible rule-id spelling: lowercase words joined by dashes.
+/// Comments that merely *document* the suppression syntax (allow(<rule>))
+/// fail this and are ignored entirely; ignoring is safe because a typo'd
+/// suppression leaves its underlying finding visible.
+bool looks_like_rule_id(std::string_view rule) {
+  if (rule.empty()) {
+    return false;
+  }
+  for (const char c : rule) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses one `marsit-lint: allow(<rule>): <reason>` comment body; returns
+/// whether the marker was present (malformed bodies still return true, with
+/// an empty rule or reason the linter reports on).
+bool parse_suppression(std::string_view comment, int line, bool standalone,
+                       std::vector<Suppression>& out) {
+  const std::string_view marker = "marsit-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string_view::npos) {
+    return false;
+  }
+  Suppression suppression;
+  suppression.line = line;
+  suppression.standalone = standalone;
+  std::string_view rest = comment.substr(at + marker.size());
+  const std::size_t allow = rest.find("allow(");
+  if (allow != std::string_view::npos) {
+    rest = rest.substr(allow + 6);
+    const std::size_t close = rest.find(')');
+    if (close != std::string_view::npos) {
+      suppression.rule = std::string(rest.substr(0, close));
+      if (!looks_like_rule_id(suppression.rule)) {
+        return true;  // documentation about the syntax, not a suppression
+      }
+      rest = rest.substr(close + 1);
+      // Reason: everything after the closing paren, optionally led by ':'.
+      std::size_t begin = 0;
+      while (begin < rest.size() &&
+             (rest[begin] == ':' || rest[begin] == ' ' ||
+              rest[begin] == '\t')) {
+        ++begin;
+      }
+      std::size_t end = rest.size();
+      while (end > begin && (rest[end - 1] == ' ' || rest[end - 1] == '\t' ||
+                             rest[end - 1] == '\r')) {
+        --end;
+      }
+      suppression.reason = std::string(rest.substr(begin, end - begin));
+    }
+  }
+  out.push_back(std::move(suppression));
+  return true;
+}
+
+/// Extracts an #include target from a preprocessor line.
+void parse_include(std::string_view text, int line,
+                   std::vector<Include>& out) {
+  std::size_t i = 0;
+  auto skip_space = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) {
+      ++i;
+    }
+  };
+  skip_space();
+  if (i >= text.size() || text[i] != '#') {
+    return;
+  }
+  ++i;
+  skip_space();
+  const std::string_view directive = "include";
+  if (text.substr(i, directive.size()) != directive) {
+    return;
+  }
+  i += directive.size();
+  skip_space();
+  if (i >= text.size()) {
+    return;
+  }
+  const char open = text[i];
+  const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+  if (close == '\0') {
+    return;
+  }
+  ++i;
+  const std::size_t end = text.find(close, i);
+  if (end == std::string_view::npos) {
+    return;
+  }
+  Include include;
+  include.header = std::string(text.substr(i, end - i));
+  include.angled = open == '<';
+  include.line = line;
+  out.push_back(std::move(include));
+}
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  Cursor cursor(source);
+  // Tracks whether any token/preprocessor content was seen on the current
+  // line, so a `//` comment can be classified trailing vs standalone.
+  int last_code_line = 0;
+
+  while (!cursor.done()) {
+    const char c = cursor.peek();
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      cursor.advance();
+      continue;
+    }
+
+    // Preprocessor directive: record includes, then skip to the (logical)
+    // end of line, honoring backslash continuations.
+    if (c == '#') {
+      const int line = cursor.line();
+      const std::size_t start = cursor.pos();
+      while (!cursor.done()) {
+        if (cursor.peek() == '\\' && cursor.peek(1) == '\n') {
+          cursor.advance();
+          cursor.advance();
+          continue;
+        }
+        if (cursor.peek() == '\n') {
+          break;
+        }
+        // Comments may open inside a directive line; a block comment can
+        // hide the newline, so handle it here rather than mis-skipping.
+        if (cursor.peek() == '/' && cursor.peek(1) == '*') {
+          break;
+        }
+        if (cursor.peek() == '/' && cursor.peek(1) == '/') {
+          break;
+        }
+        cursor.advance();
+      }
+      parse_include(cursor.slice(start), line, result.includes);
+      last_code_line = line;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cursor.peek(1) == '/') {
+      const int line = cursor.line();
+      const std::size_t start = cursor.pos();
+      while (!cursor.done() && cursor.peek() != '\n') {
+        cursor.advance();
+      }
+      parse_suppression(cursor.slice(start), line,
+                        /*standalone=*/last_code_line != line,
+                        result.suppressions);
+      continue;
+    }
+    if (c == '/' && cursor.peek(1) == '*') {
+      cursor.advance();
+      cursor.advance();
+      while (!cursor.done()) {
+        if (cursor.peek() == '*' && cursor.peek(1) == '/') {
+          cursor.advance();
+          cursor.advance();
+          break;
+        }
+        cursor.advance();
+      }
+      continue;
+    }
+
+    const int line = cursor.line();
+    last_code_line = line;
+
+    // String / char literals (including raw strings and common prefixes).
+    if (c == '"') {
+      const std::size_t start = cursor.pos();
+      cursor.advance();
+      skip_quoted(cursor, '"');
+      result.tokens.push_back(
+          {TokenKind::kString, std::string(cursor.slice(start)), line});
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t start = cursor.pos();
+      cursor.advance();
+      skip_quoted(cursor, '\'');
+      result.tokens.push_back(
+          {TokenKind::kChar, std::string(cursor.slice(start)), line});
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      const std::size_t start = cursor.pos();
+      while (!cursor.done() && is_ident_char(cursor.peek())) {
+        cursor.advance();
+      }
+      std::string text(cursor.slice(start));
+      // Literal prefixes: R"...", u8"...", L'x', ...
+      if (!cursor.done() && (cursor.peek() == '"' || cursor.peek() == '\'')) {
+        const bool raw = !text.empty() && text.back() == 'R';
+        const char quote = cursor.peek();
+        if (raw && quote == '"') {
+          cursor.advance();
+          skip_raw_string(cursor);
+          result.tokens.push_back({TokenKind::kString, "R\"...\"", line});
+          continue;
+        }
+        if (text == "u8" || text == "u" || text == "U" || text == "L") {
+          cursor.advance();
+          skip_quoted(cursor, quote);
+          result.tokens.push_back({quote == '"' ? TokenKind::kString
+                                                : TokenKind::kChar,
+                                   std::string(cursor.slice(start)), line});
+          continue;
+        }
+      }
+      result.tokens.push_back({TokenKind::kIdentifier, std::move(text), line});
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && is_digit(cursor.peek(1)))) {
+      const std::size_t start = cursor.pos();
+      // pp-number: digits, identifier chars, '.', and exponent signs.
+      while (!cursor.done()) {
+        const char n = cursor.peek();
+        if (is_ident_char(n) || n == '.') {
+          cursor.advance();
+          continue;
+        }
+        if ((n == '+' || n == '-') && cursor.pos() > start) {
+          const char prev = cursor.slice(start).back();
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            cursor.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      result.tokens.push_back(
+          {TokenKind::kNumber, std::string(cursor.slice(start)), line});
+      continue;
+    }
+
+    // Punctuation; keep the few multi-character operators rules care about.
+    const std::size_t start = cursor.pos();
+    cursor.advance();
+    const char second = cursor.peek();
+    if ((c == ':' && second == ':') || (c == '<' && second == '<') ||
+        (c == '>' && second == '>') || (c == '-' && second == '>')) {
+      cursor.advance();
+    }
+    result.tokens.push_back(
+        {TokenKind::kPunct, std::string(cursor.slice(start)), line});
+  }
+
+  return result;
+}
+
+}  // namespace marsit_lint

@@ -1,0 +1,64 @@
+// Token scanner behind marsit_lint (see linter.hpp for the tool overview).
+//
+// This is deliberately a *lexer*, not a parser: every project invariant the
+// linter enforces (RNG discipline, determinism hygiene, kernel safety, header
+// hygiene, obs gating) is recognizable from the token stream plus brace
+// depth, and a lexer never goes out of sync with the C++ grammar the way a
+// hand-rolled parser would.  Comments and string/char literals are consumed
+// (so fixture code embedded in test strings can never trigger rules), but
+// two comment-adjacent artifacts are surfaced because rules need them:
+//
+//   * `#include` directives, for the include-what-you-use-lite rule;
+//   * `// marsit-lint: allow(<rule>): <reason>` suppression comments, which
+//     disable one rule on their own line (trailing comment) or on the next
+//     code line (standalone comment line).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marsit_lint {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords, undistinguished
+  kNumber,      // integer / floating literals, suffix included in text
+  kPunct,       // operators & punctuation; "::", "<<", ">>", "->" kept whole
+  kString,      // string literal (text is the raw spelling, quotes included)
+  kChar,        // character literal
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Include {
+  std::string header;  // spelling between the delimiters
+  bool angled = false;
+  int line = 0;
+};
+
+struct Suppression {
+  std::string rule;    // rule id inside allow(...)
+  std::string reason;  // text after the closing paren; empty = malformed
+  int line = 0;        // line of the comment itself
+  /// A comment alone on its line suppresses the next *code* line (so the
+  /// marker may sit anywhere in a multi-line comment block); a trailing
+  /// comment suppresses its own line.
+  bool standalone = false;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // preprocessor lines excluded
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes one translation unit.  Never fails: unrecognized bytes become
+/// single-character punctuation tokens, unterminated literals run to EOF.
+LexResult lex(std::string_view source);
+
+}  // namespace marsit_lint

@@ -1,0 +1,181 @@
+#include "marsit_lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace marsit_lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+bool is_skipped_directory(const fs::path& path) {
+  const std::string name = path.filename().string();
+  // Build trees carry generated sources (CMake compiler probes, gtest
+  // copies) that are not project code.
+  return name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "third_party";
+}
+
+/// Repo-relative tail of a possibly absolute path, normalized to forward
+/// slashes: ".../repo/src/core/x.cpp" -> "src/core/x.cpp".
+std::string normalize_path(const std::string& file_path) {
+  std::string path = file_path;
+  std::replace(path.begin(), path.end(), '\\', '/');
+  static const char* kRoots[] = {"src/", "tests/", "bench/", "examples/",
+                                 "tools/"};
+  std::size_t best = std::string::npos;
+  for (const char* root : kRoots) {
+    // Match at the start or just after a '/', whichever comes first in the
+    // path; the earliest marker wins so nested names cannot confuse it.
+    std::size_t at = path.rfind(std::string("/") + root);
+    if (at != std::string::npos) {
+      at += 1;
+    } else if (path.rfind(root, 0) == 0) {
+      at = 0;
+    }
+    if (at != std::string::npos && at < best) {
+      best = at;
+    }
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
+bool is_header_path(const std::string& path) {
+  return path.size() > 2 && (path.rfind(".hpp") == path.size() - 4 ||
+                             path.rfind(".h") == path.size() - 2);
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string path,
+                                 std::string_view content) {
+  FileContext file;
+  file.path = std::move(path);
+  file.is_header = is_header_path(file.path);
+  file.lex = lex(content);
+
+  std::vector<Finding> findings;
+  for (const Rule& rule : all_rules()) {
+    rule.check(file, findings);
+  }
+
+  // Validate suppressions, then apply the well-formed ones.  target_line ->
+  // set of rule ids allowed there.
+  std::map<int, std::set<std::string, std::less<>>> allowed;
+  for (const Suppression& suppression : file.lex.suppressions) {
+    if (suppression.rule.empty() || !is_known_rule(suppression.rule)) {
+      findings.push_back(
+          {file.path, suppression.line, "suppression",
+           "suppression names unknown rule '" + suppression.rule +
+               "'; run marsit_lint --list-rules for the registry"});
+      continue;
+    }
+    if (suppression.reason.empty()) {
+      findings.push_back(
+          {file.path, suppression.line, "suppression",
+           "suppression of '" + suppression.rule +
+               "' gives no reason; write // marsit-lint: allow(" +
+               suppression.rule + "): <why this site is legitimate>"});
+      continue;
+    }
+    // Trailing comments cover their own line; standalone comments cover the
+    // next code line (skipping the rest of their comment block).
+    int target = suppression.line;
+    if (suppression.standalone) {
+      int next_code = 0;
+      for (const Token& token : file.lex.tokens) {
+        if (token.line > suppression.line) {
+          next_code = token.line;
+          break;
+        }
+      }
+      for (const Include& include : file.lex.includes) {
+        if (include.line > suppression.line &&
+            (next_code == 0 || include.line < next_code)) {
+          next_code = include.line;
+        }
+      }
+      target = next_code != 0 ? next_code : suppression.line + 1;
+    }
+    allowed[target].insert(suppression.rule);
+  }
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& finding) {
+                       if (finding.rule == "suppression") {
+                         return false;
+                       }
+                       const auto at = allowed.find(finding.line);
+                       return at != allowed.end() &&
+                              at->second.count(finding.rule) > 0;
+                     }),
+      findings.end());
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& file_path) {
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) {
+    return {{normalize_path(file_path), 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(normalize_path(file_path), buffer.str());
+}
+
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      fs::recursive_directory_iterator it(
+          path, fs::directory_options::skip_permission_denied, ec);
+      const fs::recursive_directory_iterator end;
+      for (; it != end; ++it) {
+        if (it->is_directory() && is_skipped_directory(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && has_lintable_extension(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::vector<Finding> file_findings = lint_file(file);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.path != b.path ? a.path < b.path
+                                             : a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace marsit_lint

@@ -1,0 +1,41 @@
+// marsit_lint — the project-specific static-analysis pass.
+//
+// A standalone binary (tools/marsit_lint) that scans src/, tests/, bench/,
+// and examples/ for violations of invariants the compiler cannot see: RNG
+// discipline, determinism hygiene, kernel safety, header hygiene, and obs
+// gating (rules.hpp documents each).  CI runs `marsit_lint --check` on every
+// PR; tests/tools_lint_test.cpp pins each rule with fixture snippets.
+//
+// The library layer (this header) exists so the test can lint in-memory
+// fixture sources without shelling out; the binary is a thin CLI over it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "marsit_lint/rules.hpp"
+
+namespace marsit_lint {
+
+/// Lints one in-memory source.  `path` both names findings and classifies
+/// the file for rule applicability; it should be repo-relative with forward
+/// slashes (e.g. "src/core/one_bit.cpp").  Suppressions are applied and
+/// malformed suppressions (unknown rule, missing reason) are reported under
+/// the pseudo-rule "suppression", which is itself unsuppressible.
+std::vector<Finding> lint_source(std::string path, std::string_view content);
+
+/// Lints one on-disk file.  The stored finding path is the repo-relative
+/// tail of `file_path` (starting at the first src/ | tests/ | bench/ |
+/// examples/ | tools/ component) so classification works for absolute paths.
+std::vector<Finding> lint_file(const std::string& file_path);
+
+/// Expands files and directories (recursing into directories for
+/// .hpp/.h/.cpp/.cc files, skipping build trees and VCS metadata), lints
+/// each, and returns all findings sorted by path then line.
+std::vector<Finding> lint_paths(const std::vector<std::string>& paths);
+
+/// "path:line: [rule] message" — one line per finding.
+std::string format_finding(const Finding& finding);
+
+}  // namespace marsit_lint

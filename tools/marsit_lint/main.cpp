@@ -1,0 +1,68 @@
+// marsit_lint CLI.
+//
+//   marsit_lint --check src tests bench examples   # lint, exit 1 on findings
+//   marsit_lint --list-rules                       # print the rule registry
+//
+// Findings print as "path:line: [rule] message"; suppress a deliberate
+// violation with `// marsit-lint: allow(<rule>): <reason>` on the same line
+// or the line above (the reason is mandatory).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "marsit_lint/linter.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--check] [--list-rules] <files-or-dirs>...\n"
+               "  --check       lint the given paths (default command)\n"
+               "  --list-rules  describe the rule registry and exit\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--check") {
+      // default behavior; accepted for explicitness
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const marsit_lint::Rule& rule : marsit_lint::all_rules()) {
+      std::printf("%-16s %s  %s\n", rule.id, rule.label, rule.summary);
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    return usage(argv[0]);
+  }
+
+  const std::vector<marsit_lint::Finding> findings =
+      marsit_lint::lint_paths(paths);
+  for (const marsit_lint::Finding& finding : findings) {
+    std::printf("%s\n", marsit_lint::format_finding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "marsit_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

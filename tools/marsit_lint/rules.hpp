@@ -1,0 +1,69 @@
+// marsit_lint's rule registry.
+//
+// Each rule encodes one project invariant a generic compiler or clang-tidy
+// cannot know (see DESIGN.md §10 for the full table):
+//
+//   R1 rng-discipline   Stochastic code draws only from marsit::Rng streams
+//                       derived via derive_seed(seed, stream).  Standard
+//                       library RNGs and ad-hoc literal seeds silently break
+//                       the golden-digest determinism tests and the
+//                       unbiasedness of the ⊙ operator (paper Eq. 2).
+//   R2 determinism      No wall-clock reads, environment reads, or
+//                       unordered-container iteration on paths that feed
+//                       digests or wire payloads.
+//   R3 kernel-safety    Bit-plane kernels and ⊙ folds: no raw new/delete,
+//                       no C-style casts, no shifts of plain int literals.
+//   R4 header-hygiene   Headers: no `using namespace`, no <iostream>, and
+//                       direct includes for the std symbols they use.
+//   R5 obs-gating       Observability calls outside src/obs must sit behind
+//                       obs::metrics_enabled() / TraceSession::current().
+//
+// Rules fire as Findings; a finding is suppressed by a same-line or
+// preceding-line comment `// marsit-lint: allow(<rule>): <reason>` whose
+// reason is mandatory (an empty reason is itself a finding).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "marsit_lint/lexer.hpp"
+
+namespace marsit_lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One file, lexed and classified.  `path` is repo-relative with forward
+/// slashes ("src/core/one_bit.cpp"); classification is purely path-based so
+/// the linter needs no build graph.
+struct FileContext {
+  std::string path;
+  bool is_header = false;
+  LexResult lex;
+
+  bool under(std::string_view prefix) const {
+    return path.size() >= prefix.size() &&
+           path.compare(0, prefix.size(), prefix) == 0;
+  }
+  bool is(std::string_view exact) const { return path == exact; }
+};
+
+struct Rule {
+  const char* id;       // suppression key, e.g. "rng-discipline"
+  const char* label;    // short tag for messages, e.g. "R1"
+  const char* summary;  // one-line description for --list-rules
+  void (*check)(const FileContext&, std::vector<Finding>&);
+};
+
+/// The registry, in R1..R5 order.
+const std::vector<Rule>& all_rules();
+
+/// True iff `id` names a registered rule.
+bool is_known_rule(std::string_view id);
+
+}  // namespace marsit_lint

@@ -3,7 +3,7 @@
 // kept in-tree because it is the fastest way for a user to sanity-check a
 // new configuration.
 //
-//   ./build/tools/marsit_tune --task images --model alexnet --method psgd \
+//   ./build/tools/marsit_tune --task images --model alexnet --method psgd
 //       --eta_l 0.05 --rounds 200 --workers 4 --batch 16 --opt momentum
 #include <cstring>
 #include <iostream>

@@ -11,13 +11,24 @@
 //                    with exponential backoff, inflating both completion
 //                    time and wire traffic;
 //   * straggler    — one node's links serialize `s`× slower, stretching the
-//                    critical path of every schedule that touches it.
+//                    critical path of every schedule that touches it;
+//   * corruption   — each attempt delivers a corrupted payload w.p. p; a
+//                    CRC32 footer (+32 wire bits per message) detects it and
+//                    the sender retries; past the retry budget the sender is
+//                    demoted to absent-for-the-round (never folded into ⊙);
+//   * rejoin       — two staggered explicit drop-out windows, replayed with
+//                    the rejoin-at-flush barrier off (severity 0, workers
+//                    re-enter the instant their window closes, carrying
+//                    compensation) and on (severity 1, re-entry waits for
+//                    the next K-round full-precision flush, where the global
+//                    state is identical on every worker).
 //
 // For every (fault type, severity, method) cell a short training run records
-// final accuracy, simulated time, degraded-round counts and retransmission
-// totals.  Severity 0 is the fault-free baseline, so each method's row set
-// is a degradation curve.  Output: a human-readable table on stdout plus a
-// machine-readable JSON file (--out PATH, default fault_sweep.json).
+// final accuracy, simulated time, degraded-round counts, retransmission and
+// rejoin/demotion totals.  Severity 0 of the probabilistic faults is the
+// fault-free baseline, so each method's row set is a degradation curve.
+// Output: a human-readable table on stdout plus a machine-readable JSON
+// file (--out PATH, default fault_sweep.json).
 #include <fstream>
 
 #include "bench_util.hpp"
@@ -31,7 +42,7 @@ using namespace marsit::bench;
 namespace {
 
 struct FaultSpec {
-  std::string type;                // "dropout" | "packet-loss" | "straggler"
+  std::string type;  // "dropout" | "packet-loss" | "straggler" | "corruption"
   std::vector<double> severities;  // first entry is the fault-free baseline
 };
 
@@ -47,9 +58,27 @@ FaultPlan make_plan(const FaultSpec& spec, double severity,
     if (severity > 1.0) {
       plan.stragglers.push_back({1, severity});
     }
+  } else if (spec.type == "corruption") {
+    plan.corruption_rate = severity;
+    // A short retry budget so saturating corruption actually demotes senders
+    // within the sweep (the 16-attempt default makes demotion astronomically
+    // rare even at severity 0.5).
+    plan.max_retries = 3;
   } else {
     MARSIT_CHECK(false) << "unknown fault type " << spec.type;
   }
+  return plan;
+}
+
+/// Two staggered one-worker outages, deliberately unaligned with the K-round
+/// flush so the gated variant (severity 1) has to wait for the next barrier.
+FaultPlan make_rejoin_plan(bool at_flush, std::size_t rounds,
+                           std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  const std::size_t third = rounds / 3;
+  plan.dropouts.push_back({2, third / 2 + 1, third + 1, at_flush});
+  plan.dropouts.push_back({5, third + 2, 2 * third + 2, at_flush});
   return plan;
 }
 
@@ -71,14 +100,18 @@ int main(int argc, char** argv) {
       "Fault sweep: graceful degradation under injected faults",
       {"not a paper figure; severity 0 of each fault type is the healthy "
        "baseline",
-       "dropout re-forms the reduction over survivors; packet loss retries "
-       "with backoff;",
-       "a straggler stretches every schedule that routes through it"});
+       "dropout re-forms the reduction over survivors; packet loss and "
+       "corruption retry",
+       "with backoff; a straggler stretches every schedule that routes "
+       "through it;",
+       "the rejoin sweep replays fixed outages with the flush barrier "
+       "off/on"});
 
   const std::vector<FaultSpec> faults = {
       {"dropout", {0.0, 0.1, 0.25, 0.4}},
       {"packet-loss", {0.0, 0.02, 0.05, 0.1}},
       {"straggler", {1.0, 2.0, 4.0, 8.0}},
+      {"corruption", {0.0, 0.05, 0.2, 0.5}},
   };
   // Five of the six Table 2 methods (Marsit-100 behaves like Marsit here).
   std::vector<MethodSpec> methods = paper_method_lineup();
@@ -90,7 +123,7 @@ int main(int argc, char** argv) {
   };
 
   TextTable table({"fault", "severity", "method", "final acc (%)", "sim time",
-                   "degraded rounds", "mean active", "retx (Mb)"});
+                   "degraded rounds", "mean active", "retx (Mb)", "rejoins"});
   std::ofstream out(out_path);
   MARSIT_CHECK(out.good()) << "cannot open " << out_path;
   obs::JsonWriter json(out, /*pretty=*/true);
@@ -100,52 +133,79 @@ int main(int argc, char** argv) {
   json.key("curves");
   json.begin_array();
 
+  const auto run_cell = [&](const std::string& fault, double severity,
+                            const MethodSpec& method, const FaultPlan& plan) {
+    SyncConfig sync_config = ring_config(workers);
+    sync_config.fault_plan = plan;
+    auto strategy = build_method(method, sync_config, 2e-3f);
+
+    TrainerConfig config;
+    config.batch_size_per_worker = 16;
+    config.optimizer = OptimizerKind::kMomentum;
+    config.clip_grad_norm = 2.0f;
+    config.eta_l = 0.05f;
+    config.rounds = rounds;
+    config.eval_interval = 0;  // evaluate once, at the end
+    config.eval_samples = 512;
+    config.seed = 10;
+
+    DistributedTrainer trainer(digits, factory, *strategy, config);
+    const TrainResult result = trainer.train();
+
+    const double retx_megabits = result.total_retransmitted_wire_bits / 1e6;
+    // total_rejoins already includes the flush-gated subset.
+    const std::size_t rejoins = result.total_rejoins;
+    table.add_row({fault, format_fixed(severity, 2), method.label,
+                   format_fixed(100.0 * result.final_test_accuracy, 1),
+                   format_duration(result.sim_seconds),
+                   std::to_string(result.degraded_rounds),
+                   format_fixed(result.mean_active_workers, 2),
+                   format_fixed(retx_megabits, 2), std::to_string(rejoins)});
+
+    json.begin_object();
+    json.kv("fault", fault);
+    json.kv("severity", severity);
+    json.kv("method", method.label);
+    json.kv("final_accuracy", result.final_test_accuracy);
+    json.kv("sim_seconds", result.sim_seconds);
+    json.kv("total_wire_bits", result.total_wire_bits);
+    json.kv("degraded_rounds", result.degraded_rounds);
+    json.kv("mean_active_workers", result.mean_active_workers);
+    json.kv("retransmitted_wire_bits", result.total_retransmitted_wire_bits);
+    json.kv("retransmissions", result.total_retransmissions);
+    json.kv("rejoins", result.total_rejoins);
+    json.kv("flush_rejoins", result.total_flush_rejoins);
+    json.kv("corruption_demotions", result.total_corruption_demotions);
+    json.kv("diverged", result.diverged);
+    json.end_object();
+  };
+
   for (const FaultSpec& fault : faults) {
     for (const double severity : fault.severities) {
       for (const MethodSpec& method : methods) {
-        SyncConfig sync_config = ring_config(workers);
-        sync_config.fault_plan = make_plan(fault, severity, /*seed=*/91);
-        auto strategy = build_method(method, sync_config, 2e-3f);
-
-        TrainerConfig config;
-        config.batch_size_per_worker = 16;
-        config.optimizer = OptimizerKind::kMomentum;
-        config.clip_grad_norm = 2.0f;
-        config.eta_l = 0.05f;
-        config.rounds = rounds;
-        config.eval_interval = 0;  // evaluate once, at the end
-        config.eval_samples = 512;
-        config.seed = 10;
-
-        DistributedTrainer trainer(digits, factory, *strategy, config);
-        const TrainResult result = trainer.train();
-
-        const double retx_megabits =
-            result.total_retransmitted_wire_bits / 1e6;
-        table.add_row({fault.type, format_fixed(severity, 2), method.label,
-                       format_fixed(100.0 * result.final_test_accuracy, 1),
-                       format_duration(result.sim_seconds),
-                       std::to_string(result.degraded_rounds),
-                       format_fixed(result.mean_active_workers, 2),
-                       format_fixed(retx_megabits, 2)});
-
-        json.begin_object();
-        json.kv("fault", fault.type);
-        json.kv("severity", severity);
-        json.kv("method", method.label);
-        json.kv("final_accuracy", result.final_test_accuracy);
-        json.kv("sim_seconds", result.sim_seconds);
-        json.kv("total_wire_bits", result.total_wire_bits);
-        json.kv("degraded_rounds", result.degraded_rounds);
-        json.kv("mean_active_workers", result.mean_active_workers);
-        json.kv("retransmitted_wire_bits",
-                result.total_retransmitted_wire_bits);
-        json.kv("retransmissions", result.total_retransmissions);
-        json.kv("diverged", result.diverged);
-        json.end_object();
+        run_cell(fault.type, severity, method,
+                 make_plan(fault, severity, /*seed=*/91));
       }
     }
   }
+
+  // Rejoin sweep (same JSON row shape): the Table 2 "Marsit" entry has no
+  // flush period, so the gated variant would degenerate to the plain one —
+  // give Marsit K = 10 here, which puts two flush barriers after the
+  // outage windows within the default 60 rounds.
+  std::vector<MethodSpec> rejoin_methods = methods;
+  for (MethodSpec& method : rejoin_methods) {
+    if (method.method == SyncMethod::kMarsit) {
+      method.full_precision_period = 10;
+    }
+  }
+  for (const double severity : {0.0, 1.0}) {
+    for (const MethodSpec& method : rejoin_methods) {
+      run_cell("rejoin", severity, method,
+               make_rejoin_plan(severity > 0.0, rounds, /*seed=*/91));
+    }
+  }
+
   json.end_array();
   json.end_object();
   out << "\n";
@@ -154,6 +214,9 @@ int main(int argc, char** argv) {
   std::cout << "\nJSON degradation curves written to " << out_path << "\n";
   std::cout << "shape check: severity 0 matches the healthy run; accuracy "
                "decays and sim\ntime inflates as severity grows, with Marsit "
-               "degrading gracefully rather than\ndiverging.\n";
+               "degrading gracefully rather than\ndiverging.  Corruption "
+               "burns retransmitted bits (and demotes senders past the\n"
+               "retry budget); flush-gated rejoins lengthen absences but "
+               "re-enter only where\ncompensation is zero.\n";
   return 0;
 }

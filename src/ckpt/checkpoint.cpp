@@ -1,0 +1,127 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <span>
+
+#include "ckpt/snapshot.hpp"
+#include "util/check.hpp"
+#include "util/validate.hpp"
+
+namespace marsit::ckpt {
+
+namespace {
+
+/// Section tags: fixed order in the payload, checked on read so a shuffled
+/// or spliced payload is rejected instead of mis-parsed.
+enum SectionTag : std::uint32_t {
+  kMetaSection = 0x4d455441,       // "META"
+  kParamsSection = 0x50415241,     // "PARA"
+  kOptimizerSection = 0x4f505449,  // "OPTI"
+  kStrategySection = 0x53545241,   // "STRA"
+  kTrainerSection = 0x5452414e,    // "TRAN"
+};
+
+void write_section(SnapshotWriter& out, SectionTag tag,
+                   const SnapshotWriter& body) {
+  out.u32(tag);
+  out.blob({body.bytes().data(), body.bytes().size()});
+}
+
+std::vector<std::uint8_t> read_section(SnapshotReader& in, SectionTag tag,
+                                       const char* name) {
+  const std::uint32_t got = in.u32();
+  MARSIT_CHECK(got == tag) << "checkpoint section order broken: expected the "
+                           << name << " section";
+  return in.blob();
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  SnapshotWriter meta;
+  meta.u64(checkpoint.meta.round);
+  meta.u64(checkpoint.meta.param_count);
+  meta.u64(checkpoint.meta.num_workers);
+  meta.u64(checkpoint.meta.trainer_seed);
+  meta.u64(checkpoint.meta.strategy_seed);
+  meta.u64(checkpoint.meta.fault_seed);
+  meta.str(checkpoint.meta.strategy_name);
+
+  SnapshotWriter params;
+  params.f32_span({checkpoint.params.data(), checkpoint.params.size()});
+
+  SnapshotWriter payload;
+  write_section(payload, kMetaSection, meta);
+  write_section(payload, kParamsSection, params);
+  payload.u32(kOptimizerSection);
+  payload.blob({checkpoint.optimizer_state.data(),
+                checkpoint.optimizer_state.size()});
+  payload.u32(kStrategySection);
+  payload.blob({checkpoint.strategy_state.data(),
+                checkpoint.strategy_state.size()});
+  payload.u32(kTrainerSection);
+  payload.blob({checkpoint.trainer_state.data(),
+                checkpoint.trainer_state.size()});
+
+  write_snapshot_file(path, kFormatVersion,
+                      {payload.bytes().data(), payload.bytes().size()});
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  const SnapshotFile file = read_snapshot_file(path, kFormatVersion);
+
+  Checkpoint checkpoint;
+  checkpoint.version = file.version;
+  checkpoint.payload_digest = file.payload_digest;
+
+  SnapshotReader payload({file.payload.data(), file.payload.size()});
+  const std::vector<std::uint8_t> meta_bytes =
+      read_section(payload, kMetaSection, "meta");
+  SnapshotReader meta({meta_bytes.data(), meta_bytes.size()});
+  checkpoint.meta.round = meta.u64();
+  checkpoint.meta.param_count = meta.u64();
+  checkpoint.meta.num_workers = meta.u64();
+  checkpoint.meta.trainer_seed = meta.u64();
+  checkpoint.meta.strategy_seed = meta.u64();
+  checkpoint.meta.fault_seed = meta.u64();
+  checkpoint.meta.strategy_name = meta.str();
+  MARSIT_CHECK(meta.done()) << "checkpoint meta section has trailing bytes";
+
+  const std::vector<std::uint8_t> params_bytes =
+      read_section(payload, kParamsSection, "params");
+  SnapshotReader params({params_bytes.data(), params_bytes.size()});
+  checkpoint.params = params.f32_vec();
+  MARSIT_CHECK(params.done())
+      << "checkpoint params section has trailing bytes";
+  MARSIT_CHECK(checkpoint.params.size() == checkpoint.meta.param_count)
+      << "checkpoint carries " << checkpoint.params.size()
+      << " parameters but its meta declares " << checkpoint.meta.param_count;
+
+  checkpoint.optimizer_state =
+      read_section(payload, kOptimizerSection, "optimizer");
+  checkpoint.strategy_state =
+      read_section(payload, kStrategySection, "strategy");
+  checkpoint.trainer_state =
+      read_section(payload, kTrainerSection, "trainer");
+  MARSIT_CHECK(payload.done()) << "checkpoint payload has trailing bytes";
+
+  // Contract re-assertion at the restore boundary (gated; the always-on
+  // checks above already rejected structural corruption).
+  MARSIT_VALIDATE_CALL(validate::snapshot_header(
+      checkpoint.version, kFormatVersion, checkpoint.payload_digest,
+      checkpoint.payload_digest, checkpoint.meta.param_count,
+      checkpoint.meta.num_workers));
+  return checkpoint;
+}
+
+std::string expand_checkpoint_path(const std::string& path_template,
+                                   std::uint64_t round) {
+  const std::string placeholder = "{round}";
+  std::string path = path_template;
+  const std::size_t at = path.find(placeholder);
+  if (at != std::string::npos) {
+    path.replace(at, placeholder.size(), std::to_string(round));
+  }
+  return path;
+}
+
+}  // namespace marsit::ckpt

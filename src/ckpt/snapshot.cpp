@@ -1,0 +1,223 @@
+#include "ckpt/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "util/check.hpp"
+
+namespace marsit::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'A', 'R', 'S', 'I', 'T', 'C', 'K'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+/// Little-endian scalar encode/decode.  Byte-by-byte shifts rather than
+/// memcpy so the wire layout is identical on any host endianness.
+template <typename T, std::size_t N = sizeof(T)>
+void put_le(std::vector<std::uint8_t>& out, T value) {
+  for (std::size_t i = 0; i < N; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T, std::size_t N = sizeof(T)>
+T get_le(const std::uint8_t* bytes) {
+  T value = 0;
+  for (std::size_t i = 0; i < N; ++i) {
+    value |= static_cast<T>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void SnapshotWriter::u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void SnapshotWriter::u32(std::uint32_t v) { put_le(bytes_, v); }
+
+void SnapshotWriter::u64(std::uint64_t v) { put_le(bytes_, v); }
+
+void SnapshotWriter::f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+
+void SnapshotWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void SnapshotWriter::str(std::string_view s) {
+  u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void SnapshotWriter::f32_span(std::span<const float> values) {
+  u64(values.size());
+  for (const float v : values) {
+    f32(v);
+  }
+}
+
+void SnapshotWriter::f64_vec(const std::vector<double>& values) {
+  u64(values.size());
+  for (const double v : values) {
+    f64(v);
+  }
+}
+
+void SnapshotWriter::blob(std::span<const std::uint8_t> bytes) {
+  u64(bytes.size());
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+const std::uint8_t* SnapshotReader::take(std::size_t count) {
+  MARSIT_CHECK(count <= remaining())
+      << "snapshot underrun: need " << count << " bytes, " << remaining()
+      << " remain";
+  const std::uint8_t* at = bytes_.data() + cursor_;
+  cursor_ += count;
+  return at;
+}
+
+std::uint8_t SnapshotReader::u8() { return *take(1); }
+
+std::uint32_t SnapshotReader::u32() {
+  return get_le<std::uint32_t>(take(4));
+}
+
+std::uint64_t SnapshotReader::u64() {
+  return get_le<std::uint64_t>(take(8));
+}
+
+float SnapshotReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double SnapshotReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string SnapshotReader::str() {
+  const std::uint64_t size = u64();
+  const std::uint8_t* at = take(size);
+  return std::string(reinterpret_cast<const char*>(at),
+                     static_cast<std::size_t>(size));
+}
+
+std::vector<float> SnapshotReader::f32_vec() {
+  const std::uint64_t count = u64();
+  MARSIT_CHECK(count <= remaining() / 4)
+      << "snapshot float array declares " << count << " elements but only "
+      << remaining() << " bytes remain";
+  std::vector<float> values(static_cast<std::size_t>(count));
+  for (auto& v : values) {
+    v = f32();
+  }
+  return values;
+}
+
+std::vector<double> SnapshotReader::f64_vec() {
+  const std::uint64_t count = u64();
+  MARSIT_CHECK(count <= remaining() / 8)
+      << "snapshot double array declares " << count << " elements but only "
+      << remaining() << " bytes remain";
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (auto& v : values) {
+    v = f64();
+  }
+  return values;
+}
+
+std::vector<std::uint8_t> SnapshotReader::blob() {
+  const std::uint64_t size = u64();
+  const std::uint8_t* at = take(size);
+  return std::vector<std::uint8_t>(at, at + size);
+}
+
+void write_snapshot_file(const std::string& path, std::uint32_t version,
+                         std::span<const std::uint8_t> payload) {
+  MARSIT_CHECK(version >= 1) << "snapshot version must be >= 1";
+  std::vector<std::uint8_t> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_le<std::uint32_t>(header, version);
+  put_le<std::uint64_t>(header, payload.size());
+  put_le<std::uint64_t>(header, fnv1a(payload.data(), payload.size()));
+
+  // Crash atomicity: a process killed mid-write must never leave a torn
+  // file at the published path (a resume would then read a truncated
+  // snapshot).  Write to a sibling temp path and rename into place — rename
+  // within a directory is atomic on POSIX, so `path` either holds the old
+  // complete snapshot or the new complete one.
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    MARSIT_CHECK(out.good()) << "cannot open snapshot file " << temp_path
+                             << " for writing";
+    out.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    MARSIT_CHECK(out.good()) << "short write to snapshot file " << temp_path;
+  }
+  MARSIT_CHECK(std::rename(temp_path.c_str(), path.c_str()) == 0)
+      << "cannot publish snapshot " << temp_path << " -> " << path;
+}
+
+SnapshotFile read_snapshot_file(const std::string& path,
+                                std::uint32_t max_version) {
+  std::ifstream in(path, std::ios::binary);
+  MARSIT_CHECK(in.good()) << "cannot open snapshot file " << path;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  MARSIT_CHECK(bytes.size() >= kHeaderBytes)
+      << "snapshot " << path << " truncated: " << bytes.size()
+      << " bytes is smaller than the " << kHeaderBytes << "-byte header";
+  MARSIT_CHECK(std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0)
+      << "snapshot " << path << " has wrong magic (not a marsit snapshot)";
+
+  SnapshotFile file;
+  file.version = get_le<std::uint32_t>(bytes.data() + 8);
+  MARSIT_CHECK(file.version >= 1 && file.version <= max_version)
+      << "snapshot " << path << " format version " << file.version
+      << " is unsupported (this build reads versions 1.." << max_version
+      << ")";
+  const std::uint64_t declared_size = get_le<std::uint64_t>(bytes.data() + 12);
+  file.payload_digest = get_le<std::uint64_t>(bytes.data() + 20);
+  const std::size_t actual_size = bytes.size() - kHeaderBytes;
+  MARSIT_CHECK(declared_size == actual_size)
+      << "snapshot " << path << " truncated or padded: header declares "
+      << declared_size << " payload bytes, file carries " << actual_size;
+  const std::uint64_t actual_digest =
+      fnv1a(bytes.data() + kHeaderBytes, actual_size);
+  MARSIT_CHECK(actual_digest == file.payload_digest)
+      << "snapshot " << path
+      << " failed its integrity digest (payload corrupted)";
+  file.payload.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  return file;
+}
+
+}  // namespace marsit::ckpt

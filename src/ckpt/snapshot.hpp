@@ -1,0 +1,113 @@
+// Byte-stable binary snapshot primitives for checkpoint/restore.
+//
+// A snapshot is a flat byte payload framed by a fixed header:
+//
+//   offset  size  field
+//   0       8     magic "MARSITCK"
+//   8       4     format version (little-endian u32)
+//   12      8     payload byte count (u64)
+//   20      8     FNV-1a digest of the payload bytes (u64)
+//   28      —     payload
+//
+// The payload is produced by SnapshotWriter and consumed by SnapshotReader:
+// fixed-width little-endian scalars, length-prefixed strings/arrays, and
+// tagged length-prefixed sections.  Every write has exactly one byte
+// encoding (no padding, no host-dependent widths), so serializing the same
+// state twice yields identical bytes — the byte-stability the resume
+// machinery's digests rest on.
+//
+// Integrity: read_snapshot_file rejects wrong magic, unsupported versions,
+// truncated payloads (declared size vs bytes on disk) and payload bit-flips
+// (recomputed FNV-1a vs the header digest) with always-on MARSIT_CHECKs —
+// a corrupted snapshot must never restore silently, in any build mode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marsit::ckpt {
+
+/// FNV-1a offset basis; snapshots digest from this seed.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// Incremental FNV-1a over raw bytes (seedable so digests can chain).
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = kFnvOffset);
+
+/// Appends fixed-width little-endian values to a growing byte payload.
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void f64(double v);
+  /// Length-prefixed (u64) UTF-8 bytes.
+  void str(std::string_view s);
+  /// Length-prefixed (u64 element count) float array.
+  void f32_span(std::span<const float> values);
+  /// Length-prefixed (u64 element count) double array.
+  void f64_vec(const std::vector<double>& values);
+  /// Length-prefixed (u64) raw bytes.
+  void blob(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads a SnapshotWriter payload back; every read is bounds-checked and a
+/// mismatch (overrun, bad length prefix) throws CheckError rather than
+/// reading garbage.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+  double f64();
+  std::string str();
+  std::vector<float> f32_vec();
+  std::vector<double> f64_vec();
+  std::vector<std::uint8_t> blob();
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  bool done() const { return cursor_ == bytes_.size(); }
+
+ private:
+  const std::uint8_t* take(std::size_t count);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+/// Writes `header(version) + payload` to `path` (overwriting), computing the
+/// payload digest.  Throws CheckError on I/O failure.
+void write_snapshot_file(const std::string& path, std::uint32_t version,
+                         std::span<const std::uint8_t> payload);
+
+struct SnapshotFile {
+  std::uint32_t version = 0;
+  /// Digest declared in the header (== recomputed digest after a successful
+  /// read; kept so restore sites can re-assert header consistency).
+  std::uint64_t payload_digest = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads and integrity-checks a snapshot file: magic, version within
+/// [1, max_version], declared payload size vs bytes present (truncation),
+/// and the FNV-1a digest (bit-flips).  Always-on checks; throws CheckError
+/// with a message naming the failed property.
+SnapshotFile read_snapshot_file(const std::string& path,
+                                std::uint32_t max_version);
+
+}  // namespace marsit::ckpt

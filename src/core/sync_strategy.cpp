@@ -6,6 +6,7 @@
 #include "compress/kernels.hpp"
 #include "compress/sign_codec.hpp"
 #include "core/one_bit.hpp"
+#include "net/crc32.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parallel/shard.hpp"
@@ -77,6 +78,9 @@ void publish_sync_metrics(const SyncStepResult& result, bool degraded) {
   static const obs::Counter retransmitted_wire_bits(
       "sync.retransmitted_wire_bits");
   static const obs::Counter retransmissions("sync.retransmissions");
+  static const obs::Counter rejoins("sync.rejoins");
+  static const obs::Counter flush_rejoins("sync.flush_rejoins");
+  static const obs::Counter demotions("sync.corruption_demotions");
   static const obs::Gauge active_workers("sync.active_workers");
   static const obs::Gauge bits_per_element("sync.bits_per_element");
   static const obs::Histogram completion_seconds("sync.completion_seconds");
@@ -84,6 +88,9 @@ void publish_sync_metrics(const SyncStepResult& result, bool degraded) {
   if (degraded) {
     degraded_rounds.increment();
   }
+  rejoins.add(static_cast<double>(result.rejoined_workers));
+  flush_rejoins.add(static_cast<double>(result.flush_rejoined_workers));
+  demotions.add(static_cast<double>(result.demoted_workers));
   if (result.full_precision) {
     full_precision_rounds.increment();
   }
@@ -129,35 +136,122 @@ SyncStepResult SyncStrategy::synchronize(const WorkerSpans& inputs,
         << "worker input extent " << in.size() << " vs output " << out.size();
   }
   net_.begin_round(round_);  // rounds are timed independently
-  if (config_.fault_plan.has_membership_faults()) {
+  const FaultPlan& plan = config_.fault_plan;
+  const std::size_t k = flush_period();
+  std::vector<std::size_t> demoted;       // corruption past the retry budget
+  std::vector<std::size_t> flush_rejoins; // rejoins landing on a flush
+  std::vector<std::size_t> carry_rejoins; // rejoins with carried-over state
+  std::size_t corruption_victims = 0;     // demoted before quorum re-admission
+  if (plan.affects_membership()) {
     active_.clear();
     for (std::size_t w = 0; w < config_.num_workers; ++w) {
-      if (!config_.fault_plan.worker_absent(w, round_)) {
-        active_.push_back(w);
+      if (plan.worker_absent(w, round_, k)) {
+        continue;
       }
+      if (plan.sender_demoted(w, round_)) {
+        // The payload stayed corrupted through every retry; the sender sits
+        // this round out rather than folding garbage into the aggregate.
+        demoted.push_back(w);
+        continue;
+      }
+      active_.push_back(w);
     }
+    corruption_victims = demoted.size();
     // Quorum: a reduction needs at least two members.  Re-admit the
     // lowest-indexed absent workers (deterministic) rather than letting the
-    // fabric collapse.
+    // fabric collapse; demoted senders are re-admitted only as a last
+    // resort (modeling retransmit-until-clean — their burned attempts are
+    // still charged below).
     for (std::size_t w = 0; active_.size() < 2 && w < config_.num_workers;
          ++w) {
-      if (std::find(active_.begin(), active_.end(), w) == active_.end()) {
+      if (std::find(active_.begin(), active_.end(), w) == active_.end() &&
+          std::find(demoted.begin(), demoted.end(), w) == demoted.end()) {
         active_.insert(std::lower_bound(active_.begin(), active_.end(), w),
                        w);
       }
+    }
+    while (active_.size() < 2 && !demoted.empty()) {
+      const std::size_t w = demoted.front();
+      demoted.erase(demoted.begin());
+      active_.insert(std::lower_bound(active_.begin(), active_.end(), w), w);
     }
     // Contract: whatever degradation + quorum re-admission produced must be
     // a valid membership — sorted unique ids in range, at least 2 of them —
     // before any paradigm re-forms over it.
     MARSIT_VALIDATE_CALL(validate::membership(active_, config_.num_workers));
+    // Rejoins: workers present now that sat out the previous round.  A
+    // rejoin_at_flush window closing exactly here re-enters at the barrier —
+    // the strategy discards the worker's stale per-worker state, which is
+    // exact because the flush state is replicated on every worker.
+    if (round_ > 0) {
+      for (const std::size_t w : active_) {
+        if (!plan.worker_absent(w, round_ - 1, k)) {
+          continue;
+        }
+        if (plan.flush_rejoin_at(w, round_, k)) {
+          flush_rejoins.push_back(w);
+          on_flush_rejoin(w);
+        } else {
+          carry_rejoins.push_back(w);
+        }
+      }
+    }
+    MARSIT_VALIDATE_CALL(
+        validate::rejoin_membership(flush_rejoins, config_.num_workers,
+                                    round_, k));
+    MARSIT_VALIDATE_CALL(
+        validate::rejoin_membership(carry_rejoins, config_.num_workers,
+                                    round_, 0));
   }
   SyncStepResult result = do_synchronize(inputs, out);
   result.active_workers = active_.size();
+  result.rejoined_workers = flush_rejoins.size() + carry_rejoins.size();
+  result.flush_rejoined_workers = flush_rejoins.size();
+  result.demoted_workers = demoted.size();
+  if (corruption_victims > 0) {
+    // Every demoted sender burned its payload (plus the CRC footer) on the
+    // initial attempt and all retries before giving up; those bits hit the
+    // wire even though the round excluded the sender.
+    const double attempts = static_cast<double>(plan.max_retries + 1);
+    const double burned_bits =
+        attempts * (result.bits_per_element * static_cast<double>(out.size()) +
+                    kCrcFooterBits);
+    result.timing.retransmitted_wire_bits +=
+        burned_bits * static_cast<double>(corruption_victims);
+    result.timing.total_wire_bits +=
+        burned_bits * static_cast<double>(corruption_victims);
+    result.timing.retransmissions +=
+        (plan.max_retries + 1) * corruption_victims;
+  }
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    for (const std::size_t w : flush_rejoins) {
+      trace->add_instant("flush-rejoin worker " + std::to_string(w),
+                         "rejoin", trace->time_offset(), /*track=*/0);
+    }
+    for (const std::size_t w : carry_rejoins) {
+      trace->add_instant("rejoin worker " + std::to_string(w), "rejoin",
+                         trace->time_offset(), /*track=*/0);
+    }
+    for (const std::size_t w : demoted) {
+      trace->add_instant("corruption-demoted worker " + std::to_string(w),
+                         "demote", trace->time_offset(), /*track=*/0);
+    }
+  }
   if (obs::metrics_enabled()) {
     publish_sync_metrics(result, degraded_round());
   }
   ++round_;
   return result;
+}
+
+void SyncStrategy::on_flush_rejoin(std::size_t /*worker*/) {}
+
+void SyncStrategy::save_state(ckpt::SnapshotWriter& writer) const {
+  writer.u64(static_cast<std::uint64_t>(round_));
+}
+
+void SyncStrategy::load_state(ckpt::SnapshotReader& reader) {
+  round_ = static_cast<std::size_t>(reader.u64());
 }
 
 const WorkerSpans& SyncStrategy::active_inputs(const WorkerSpans& inputs) {
@@ -403,6 +497,16 @@ std::string SignSgdMvSync::name() const {
   return std::string("signSGD-") + mar_paradigm_name(config_.paradigm);
 }
 
+void SignSgdMvSync::save_state(ckpt::SnapshotWriter& writer) const {
+  SyncStrategy::save_state(writer);
+  writer.f64_vec(cached_elias_bpe_);
+}
+
+void SignSgdMvSync::load_state(ckpt::SnapshotReader& reader) {
+  SyncStrategy::load_state(reader);
+  cached_elias_bpe_ = reader.f64_vec();
+}
+
 SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
                                              std::span<float> out) {
   const std::size_t d = out.size();
@@ -438,6 +542,29 @@ EfSignSgdSync::EfSignSgdSync(SyncConfig config) : SyncStrategy(config) {}
 
 std::string EfSignSgdSync::name() const {
   return std::string("EF-signSGD-") + mar_paradigm_name(config_.paradigm);
+}
+
+void EfSignSgdSync::save_state(ckpt::SnapshotWriter& writer) const {
+  SyncStrategy::save_state(writer);
+  writer.u64(static_cast<std::uint64_t>(error_.size()));
+  for (const Tensor& e : error_) {
+    writer.f32_span(e.span());
+  }
+  writer.f64_vec(cached_elias_bpe_);
+}
+
+void EfSignSgdSync::load_state(ckpt::SnapshotReader& reader) {
+  SyncStrategy::load_state(reader);
+  const std::uint64_t count = reader.u64();
+  MARSIT_CHECK(count == 0 || count == config_.num_workers)
+      << "EF state for " << count << " workers, expected "
+      << config_.num_workers;
+  error_.clear();
+  error_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    error_.push_back(Tensor::from_vector(reader.f32_vec()));
+  }
+  cached_elias_bpe_ = reader.f64_vec();
 }
 
 SyncStepResult EfSignSgdSync::do_synchronize(const WorkerSpans& inputs,
@@ -494,6 +621,16 @@ SsdmMarSync::SsdmMarSync(SyncConfig config, float eta_s)
 
 std::string SsdmMarSync::name() const {
   return std::string("SSDM-") + mar_paradigm_name(config_.paradigm);
+}
+
+void SsdmMarSync::save_state(ckpt::SnapshotWriter& writer) const {
+  SyncStrategy::save_state(writer);
+  writer.f64_vec(cached_elias_bpe_);
+}
+
+void SsdmMarSync::load_state(ckpt::SnapshotReader& reader) {
+  SyncStrategy::load_state(reader);
+  cached_elias_bpe_ = reader.f64_vec();
 }
 
 SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
@@ -616,6 +753,37 @@ std::string MarsitSync::name() const {
   base += '-';
   base += mar_paradigm_name(config_.paradigm);
   return base;
+}
+
+void MarsitSync::save_state(ckpt::SnapshotWriter& writer) const {
+  SyncStrategy::save_state(writer);
+  writer.u64(static_cast<std::uint64_t>(compensation_.size()));
+  for (const Tensor& c : compensation_) {
+    writer.f32_span(c.span());
+  }
+}
+
+void MarsitSync::load_state(ckpt::SnapshotReader& reader) {
+  SyncStrategy::load_state(reader);
+  const std::uint64_t count = reader.u64();
+  MARSIT_CHECK(count == 0 || count == config_.num_workers)
+      << "compensation for " << count << " workers, expected "
+      << config_.num_workers;
+  compensation_.clear();
+  compensation_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    compensation_.push_back(Tensor::from_vector(reader.f32_vec()));
+  }
+}
+
+void MarsitSync::on_flush_rejoin(std::size_t worker) {
+  // The worker re-enters at the flush barrier: its pre-drop residual is
+  // stale history of a trajectory it did not follow — discard it before the
+  // flush mean folds compensations in.  The global flush state is identical
+  // on every worker, so the fresh start is exact.
+  if (worker < compensation_.size()) {
+    compensation_[worker].zero();
+  }
 }
 
 double MarsitSync::mean_compensation_norm() const {

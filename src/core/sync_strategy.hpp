@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "collectives/aggregators.hpp"
 #include "collectives/timing.hpp"
 #include "net/cost_model.hpp"
@@ -87,6 +88,16 @@ struct SyncStepResult {
   /// Workers that contributed this round (== num_workers unless the fault
   /// plan dropped some).
   std::size_t active_workers = 0;
+  /// Workers returning this round after sitting out the previous one
+  /// (includes the flush-gated subset below).
+  std::size_t rejoined_workers = 0;
+  /// Rejoins that landed on a full-precision flush boundary (rejoin_at_flush
+  /// windows): the worker's stale per-round state was discarded at the
+  /// barrier (see SyncStrategy::on_flush_rejoin).
+  std::size_t flush_rejoined_workers = 0;
+  /// Senders whose payload stayed corrupted past the retry budget and were
+  /// excluded from the round through the survivor path.
+  std::size_t demoted_workers = 0;
 };
 
 class SyncStrategy {
@@ -107,9 +118,31 @@ class SyncStrategy {
   /// g_t.  Advances the round counter.
   SyncStepResult synchronize(const WorkerSpans& inputs, std::span<float> out);
 
+  /// Full-precision flush period K of this strategy (0 = no flush rounds).
+  /// Rejoin barriers and rejoin_at_flush drop-out windows key off this: at a
+  /// multiple of K the global state is identical on every worker, so a
+  /// returning worker needs no per-worker history.
+  virtual std::size_t flush_period() const { return 0; }
+
+  /// Checkpointing: serializes the strategy's cross-round state (round
+  /// counter, Marsit compensation, EF residuals, Elias size caches) so a
+  /// resumed run continues bit-identically.  Per-round scratch is excluded —
+  /// it is lazily rebuilt.  load_state must be paired with the same strategy
+  /// and configuration that produced the bytes (the trainer checks names and
+  /// seeds).
+  virtual void save_state(ckpt::SnapshotWriter& writer) const;
+  virtual void load_state(ckpt::SnapshotReader& reader);
+
  protected:
   virtual SyncStepResult do_synchronize(const WorkerSpans& inputs,
                                         std::span<float> out) = 0;
+
+  /// Hook invoked when `worker` re-enters exactly at a flush boundary (a
+  /// rejoin_at_flush window closed here).  Strategies with per-worker
+  /// history discard the worker's stale state — at the barrier the global
+  /// state is replicated everywhere, so the fresh-start is exact (Marsit
+  /// zeros the worker's compensation).  Default: nothing to discard.
+  virtual void on_flush_rejoin(std::size_t worker);
 
   /// Timing of one MAR collective for a d-element payload in the given wire
   /// format, over this round's *surviving* membership: on degraded rounds
@@ -176,6 +209,8 @@ class SignSgdMvSync final : public SyncStrategy {
  public:
   SignSgdMvSync(SyncConfig config, float eta_s);
   std::string name() const override;
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
 
  private:
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
@@ -194,6 +229,8 @@ class EfSignSgdSync final : public SyncStrategy {
  public:
   explicit EfSignSgdSync(SyncConfig config);
   std::string name() const override;
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
 
  private:
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
@@ -213,6 +250,8 @@ class SsdmMarSync final : public SyncStrategy {
  public:
   SsdmMarSync(SyncConfig config, float eta_s);
   std::string name() const override;
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
 
  private:
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
@@ -279,6 +318,12 @@ class MarsitSync final : public SyncStrategy {
 
   const MarsitOptions& options() const { return options_; }
 
+  std::size_t flush_period() const override {
+    return options_.full_precision_period;
+  }
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
+
   /// Mean compensation-vector ℓ2 norm across workers (0 before the first
   /// one-bit round) — the error-accumulation diagnostic Figure 3 discusses.
   double mean_compensation_norm() const;
@@ -292,6 +337,7 @@ class MarsitSync final : public SyncStrategy {
  private:
   SyncStepResult do_synchronize(const WorkerSpans& inputs,
                                 std::span<float> out) override;
+  void on_flush_rejoin(std::size_t worker) override;
 
   /// Folds the word range [word_begin, word_begin + num_words) of the first
   /// `count` sign vectors with ⊙, following the configured topology's

@@ -1,0 +1,45 @@
+#include "net/crc32.hpp"
+
+#include <array>
+
+namespace marsit {
+
+namespace {
+
+/// 256-entry lookup table for the reflected IEEE polynomial, built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+bool crc32_matches(const void* data, std::size_t size, std::uint32_t footer) {
+  return crc32(data, size) == footer;
+}
+
+}  // namespace marsit

@@ -1,0 +1,36 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) payload footers.
+//
+// Wire integrity: when a FaultPlan injects payload corruption
+// (corruption_rate > 0), every simulated message carries a 4-byte CRC32
+// footer (kCrcFooterBytes is priced into NetworkSim::transfer), and a
+// receiver detects a corrupted delivery by recomputing the checksum — the
+// single-bit and burst-error detection guarantees of CRC32 are exactly what
+// the sign-bit payloads need, since a flipped sign bit would otherwise fold
+// silently into the ⊙ chain.  The simulator models the detect-and-retry
+// protocol (detection always succeeds for the injected single-payload
+// corruption class); this module provides the real checksum so tests and
+// tools can exercise detection on actual payload buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace marsit {
+
+/// CRC32 footer size as priced on the simulated wire.
+inline constexpr double kCrcFooterBytes = 4.0;
+inline constexpr double kCrcFooterBits = 32.0;
+
+/// CRC32 of `size` bytes at `data` (init 0xFFFFFFFF, final xor-out —
+/// the standard IEEE checksum).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Span convenience overload.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// True when `footer` matches the payload's recomputed checksum — the
+/// receiver-side acceptance test of the corruption-detection protocol.
+bool crc32_matches(const void* data, std::size_t size, std::uint32_t footer);
+
+}  // namespace marsit

@@ -8,8 +8,28 @@ namespace marsit {
 namespace {
 
 /// Salt separating the membership stream from every other use of the plan
-/// seed (the link-level stream salts with kLinkSalt in network_sim.cpp).
+/// seed (the link-level stream salts with kLinkSalt in network_sim.cpp, the
+/// demotion stream with kCorruptionSalt below).
 constexpr std::uint64_t kDropoutSalt = 0xd20b0a7eULL;
+
+/// Salt for the per-(round, worker) payload-corruption demotion stream.
+constexpr std::uint64_t kCorruptionSalt = 0xc0bb1e5aULL;
+
+/// Smallest multiple of `period` that is >= `round` (period > 0).
+std::size_t next_flush_boundary(std::size_t round, std::size_t period) {
+  return ((round + period - 1) / period) * period;
+}
+
+/// End of a drop-out window under the strategy's flush period: a
+/// rejoin_at_flush window holds the worker out until the next
+/// full-precision flush boundary.
+std::size_t effective_to_round(const FaultPlan::DropOut& drop,
+                               std::size_t flush_period) {
+  if (!drop.rejoin_at_flush || flush_period == 0) {
+    return drop.to_round;
+  }
+  return next_flush_boundary(drop.to_round, flush_period);
+}
 
 }  // namespace
 
@@ -18,18 +38,23 @@ bool FaultPlan::has_faults() const {
 }
 
 bool FaultPlan::has_link_faults() const {
-  return packet_loss > 0.0 || latency_jitter > 0.0 || !stragglers.empty() ||
-         !outages.empty();
+  return packet_loss > 0.0 || latency_jitter > 0.0 || corruption_rate > 0.0 ||
+         !stragglers.empty() || !outages.empty();
 }
 
 bool FaultPlan::has_membership_faults() const {
   return dropout_rate > 0.0 || !dropouts.empty();
 }
 
-bool FaultPlan::worker_absent(std::size_t worker, std::size_t round) const {
+bool FaultPlan::affects_membership() const {
+  return has_membership_faults() || corruption_rate > 0.0;
+}
+
+bool FaultPlan::worker_absent(std::size_t worker, std::size_t round,
+                              std::size_t flush_period) const {
   for (const DropOut& drop : dropouts) {
     if (drop.worker == worker && round >= drop.from_round &&
-        round < drop.to_round) {
+        round < effective_to_round(drop, flush_period)) {
       return true;
     }
   }
@@ -40,6 +65,37 @@ bool FaultPlan::worker_absent(std::size_t worker, std::size_t round) const {
     return rng.next_double() < dropout_rate;
   }
   return false;
+}
+
+bool FaultPlan::flush_rejoin_at(std::size_t worker, std::size_t round,
+                                std::size_t flush_period) const {
+  if (flush_period == 0 || round == 0) {
+    return false;
+  }
+  for (const DropOut& drop : dropouts) {
+    if (drop.worker == worker && drop.rejoin_at_flush &&
+        drop.to_round > drop.from_round &&
+        effective_to_round(drop, flush_period) == round) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::sender_demoted(std::size_t worker, std::size_t round) const {
+  if (corruption_rate <= 0.0) {
+    return false;
+  }
+  // Pure function of (seed, round, worker), like the drop-out stream: the
+  // initial attempt plus every retry must all come up corrupted for the
+  // retry budget to run out.
+  Rng rng(derive_seed(derive_seed(seed, kCorruptionSalt ^ round), worker));
+  for (std::size_t attempt = 0; attempt <= max_retries; ++attempt) {
+    if (!rng.bernoulli(corruption_rate)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double FaultPlan::node_slowdown(std::size_t node) const {
@@ -58,9 +114,13 @@ void FaultPlan::validate() const {
   MARSIT_CHECK(dropout_rate >= 0.0 && dropout_rate < 1.0)
       << "dropout_rate " << dropout_rate << " outside [0, 1)";
   MARSIT_CHECK(latency_jitter >= 0.0) << "negative latency_jitter";
-  MARSIT_CHECK(packet_loss == 0.0 || retry_timeout > 0.0)
-      << "packet loss needs a positive retry_timeout";
-  MARSIT_CHECK(packet_loss == 0.0 || retry_backoff >= 1.0)
+  MARSIT_CHECK(corruption_rate >= 0.0 && corruption_rate < 1.0)
+      << "corruption_rate " << corruption_rate << " outside [0, 1)";
+  MARSIT_CHECK((packet_loss == 0.0 && corruption_rate == 0.0) ||
+               retry_timeout > 0.0)
+      << "retried faults need a positive retry_timeout";
+  MARSIT_CHECK((packet_loss == 0.0 && corruption_rate == 0.0) ||
+               retry_backoff >= 1.0)
       << "retry_backoff must be >= 1";
   for (const Straggler& straggler : stragglers) {
     MARSIT_CHECK(straggler.slowdown >= 1.0)

@@ -58,6 +58,18 @@ struct FaultPlan {
   /// Each message's delivery gains Uniform[0, latency_jitter) extra seconds.
   double latency_jitter = 0.0;
 
+  /// Probability in [0, 1) that one transmission attempt delivers a
+  /// corrupted payload.  With corruption enabled every message carries a
+  /// CRC32 footer (net/crc32.hpp; 32 extra wire bits per message) and the
+  /// receiver detects the corruption by checksum — detected corruption takes
+  /// the same retry/backoff path as packet loss (each corrupted attempt's
+  /// bits count as retransmitted).  Corruption that persists past
+  /// max_retries does NOT deliver garbage: the sender is demoted to
+  /// absent-for-this-round through the survivor path (see sender_demoted and
+  /// SyncStrategy::synchronize), so a corrupted payload is never folded into
+  /// the ⊙ chain.
+  double corruption_rate = 0.0;
+
   /// Straggler: node's link serialization runs `slowdown`× slower
   /// (slowdown >= 1).  Applied when the node is either endpoint.
   struct Straggler {
@@ -78,10 +90,20 @@ struct FaultPlan {
 
   // --- membership level -----------------------------------------------------
   /// Worker `worker` is absent for rounds [from_round, to_round).
+  ///
+  /// Rejoin semantics: with `rejoin_at_flush` set, a worker whose window has
+  /// closed does not re-enter immediately — it waits for the next
+  /// full-precision flush boundary (the strategy's flush period K, paper
+  /// §Periodic sync), the barrier where compensation is zero and the global
+  /// state is identical on every worker, so re-admission needs no per-worker
+  /// history.  The effective absence window is [from_round, to') where to'
+  /// is the smallest multiple of the flush period >= to_round; a strategy
+  /// with no flush period (K = 0) re-admits at to_round as before.
   struct DropOut {
     std::size_t worker = 0;
     std::size_t from_round = 0;
     std::size_t to_round = 0;
+    bool rejoin_at_flush = false;
   };
   std::vector<DropOut> dropouts;
 
@@ -92,17 +114,38 @@ struct FaultPlan {
   // --- queries --------------------------------------------------------------
   /// True when any fault knob is set; false selects the zero-cost path.
   bool has_faults() const;
-  /// True when any link-level knob is set (loss, jitter, stragglers,
-  /// outages).
+  /// True when any link-level knob is set (loss, jitter, corruption,
+  /// stragglers, outages).
   bool has_link_faults() const;
   /// True when any membership knob is set (dropouts, dropout_rate).
   bool has_membership_faults() const;
+  /// True when this round's membership can differ from the full fleet:
+  /// membership faults, or corruption (whose past-retry-budget demotions
+  /// remove senders through the survivor path).
+  bool affects_membership() const;
 
   /// Whether `worker` sits out round `round` (explicit windows plus the
-  /// seeded Bernoulli drop-out).  Callers are responsible for quorum: see
-  /// SyncStrategy::synchronize, which re-admits workers when fewer than two
-  /// would survive.
-  bool worker_absent(std::size_t worker, std::size_t round) const;
+  /// seeded Bernoulli drop-out).  `flush_period` is the strategy's
+  /// full-precision period K: rejoin_at_flush windows extend to the next
+  /// multiple of K (0 = no flush, windows end at to_round).  Callers are
+  /// responsible for quorum: see SyncStrategy::synchronize, which re-admits
+  /// workers when fewer than two would survive.
+  bool worker_absent(std::size_t worker, std::size_t round,
+                     std::size_t flush_period = 0) const;
+
+  /// True when a rejoin_at_flush window of `worker` ends exactly at `round`
+  /// under the given flush period — i.e. the worker re-enters at the flush
+  /// barrier and its pre-drop per-worker history (Marsit compensation) must
+  /// be discarded, matching the paper's argument that the flush state is
+  /// globally identical.
+  bool flush_rejoin_at(std::size_t worker, std::size_t round,
+                       std::size_t flush_period) const;
+
+  /// True when round `round`'s payload from `worker` is corrupted on the
+  /// initial attempt AND all max_retries retries (a pure function of
+  /// (seed, round, worker)) — the sender is then demoted to
+  /// absent-for-this-round instead of folding garbage into the aggregate.
+  bool sender_demoted(std::size_t worker, std::size_t round) const;
 
   /// Straggler slowdown factor for `node` (1.0 when not a straggler).
   double node_slowdown(std::size_t node) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "net/crc32.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -73,6 +74,11 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
     end = start + model_.link_alpha + bytes / bandwidth;
   } else {
     const FaultPlan& plan = *fault_plan_;
+    if (plan.corruption_rate > 0.0) {
+      // Wire integrity costs a CRC32 footer on every message; the footer
+      // rides along on retransmissions too.
+      bytes += kCrcFooterBytes;
+    }
     if (!plan.outages.empty()) {
       start = defer_past_outages(src, dst, start);
     }
@@ -91,6 +97,24 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
       double timeout = plan.retry_timeout;
       for (std::size_t attempt = 0; attempt < plan.max_retries &&
                                     fault_rng_.bernoulli(plan.packet_loss);
+           ++attempt) {
+        retransmitted_bytes_ += bytes;
+        total_bytes_ += bytes;
+        ++retransmissions_;
+        start += timeout;
+        timeout *= plan.retry_backoff;
+      }
+    }
+    // Corruption: the receiver's CRC32 check rejects the delivery and the
+    // sender retransmits after the same backed-off timeout as packet loss.
+    // (Persisting past max_retries is handled one level up: FaultPlan::
+    // sender_demoted routes the sender through the survivor path instead of
+    // delivering garbage.)
+    if (plan.corruption_rate > 0.0) {
+      double timeout = plan.retry_timeout;
+      for (std::size_t attempt = 0;
+           attempt < plan.max_retries &&
+           fault_rng_.bernoulli(plan.corruption_rate);
            ++attempt) {
         retransmitted_bytes_ += bytes;
         total_bytes_ += bytes;

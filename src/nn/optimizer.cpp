@@ -1,11 +1,29 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
+
+namespace {
+
+/// Rebuilds a tensor from a length-prefixed float array; an empty array maps
+/// to an empty tensor (state not yet materialized when the snapshot was
+/// taken — the lazy-sizing path recreates it on the next transform).
+Tensor tensor_from_vec(const std::vector<float>& values) {
+  Tensor tensor(values.size());
+  copy_into(values, tensor.span());
+  return tensor;
+}
+
+}  // namespace
+
+void LocalOptimizer::save_state(ckpt::SnapshotWriter& /*writer*/) const {}
+
+void LocalOptimizer::load_state(ckpt::SnapshotReader& /*reader*/) {}
 
 void SgdOptimizer::transform(std::span<const float> grad,
                              std::span<float> direction) {
@@ -33,6 +51,14 @@ void MomentumOptimizer::transform(std::span<const float> grad,
 
 std::unique_ptr<LocalOptimizer> MomentumOptimizer::clone_fresh() const {
   return std::make_unique<MomentumOptimizer>(mu_);
+}
+
+void MomentumOptimizer::save_state(ckpt::SnapshotWriter& writer) const {
+  writer.f32_span(velocity_.span());
+}
+
+void MomentumOptimizer::load_state(ckpt::SnapshotReader& reader) {
+  velocity_ = tensor_from_vec(reader.f32_vec());
 }
 
 AdamOptimizer::AdamOptimizer(float beta1, float beta2, float epsilon)
@@ -68,6 +94,20 @@ void AdamOptimizer::transform(std::span<const float> grad,
 
 std::unique_ptr<LocalOptimizer> AdamOptimizer::clone_fresh() const {
   return std::make_unique<AdamOptimizer>(beta1_, beta2_, epsilon_);
+}
+
+void AdamOptimizer::save_state(ckpt::SnapshotWriter& writer) const {
+  writer.u64(static_cast<std::uint64_t>(step_));
+  writer.f32_span(m_.span());
+  writer.f32_span(v_.span());
+}
+
+void AdamOptimizer::load_state(ckpt::SnapshotReader& reader) {
+  step_ = static_cast<std::size_t>(reader.u64());
+  m_ = tensor_from_vec(reader.f32_vec());
+  v_ = tensor_from_vec(reader.f32_vec());
+  MARSIT_CHECK(m_.size() == v_.size())
+      << "Adam moment tensors disagree in size";
 }
 
 std::unique_ptr<LocalOptimizer> make_optimizer(OptimizerKind kind) {

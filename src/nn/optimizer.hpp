@@ -14,6 +14,7 @@
 #include <span>
 #include <string>
 
+#include "ckpt/snapshot.hpp"
 #include "tensor/tensor.hpp"
 
 namespace marsit {
@@ -27,6 +28,13 @@ class LocalOptimizer {
   virtual void transform(std::span<const float> grad,
                          std::span<float> direction) = 0;
   virtual std::unique_ptr<LocalOptimizer> clone_fresh() const = 0;
+
+  /// Checkpointing: serializes the cross-round state (velocity, moments,
+  /// step counter) so a resumed run continues bit-identically.  Stateless
+  /// optimizers write/read nothing.  load_state must be paired with the same
+  /// optimizer kind that produced the bytes (the trainer checks names).
+  virtual void save_state(ckpt::SnapshotWriter& writer) const;
+  virtual void load_state(ckpt::SnapshotReader& reader);
 };
 
 /// Plain SGD: direction = grad.
@@ -46,6 +54,8 @@ class MomentumOptimizer final : public LocalOptimizer {
   void transform(std::span<const float> grad,
                  std::span<float> direction) override;
   std::unique_ptr<LocalOptimizer> clone_fresh() const override;
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
 
  private:
   float mu_;
@@ -61,6 +71,8 @@ class AdamOptimizer final : public LocalOptimizer {
   void transform(std::span<const float> grad,
                  std::span<float> direction) override;
   std::unique_ptr<LocalOptimizer> clone_fresh() const override;
+  void save_state(ckpt::SnapshotWriter& writer) const override;
+  void load_state(ckpt::SnapshotReader& reader) override;
 
  private:
   float beta1_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/snapshot.hpp"
 #include "collectives/aggregators.hpp"
 #include "nn/loss.hpp"
 #include "obs/metrics.hpp"
@@ -161,11 +163,8 @@ TrainResult DistributedTrainer::train() {
   const double compute_seconds = compute_seconds_per_round();
 
   TrainResult result;
-  PhaseTimes phase_totals;
-  double bits_per_element_total = 0.0;
-  double matching_total = 0.0;
-  double active_workers_total = 0.0;
-  float eta_l = config_.eta_l;
+  RunningTotals totals;
+  totals.eta_l = config_.eta_l;
   Tensor exact_mean(param_count_);
   // O(log n) decay lookup per round instead of a linear scan of the
   // (unordered) configured list.
@@ -175,10 +174,18 @@ TrainResult DistributedTrainer::train() {
   cumulative_seconds_ = 0.0;
   cumulative_bits_ = 0.0;
 
-  for (std::size_t t = 0; t < config_.rounds; ++t) {
+  if (!config_.resume_from.empty()) {
+    // Crash-restart equivalence: everything the loop below reads or folds
+    // into the result is restored here, so continuing from round
+    // totals.start_round reproduces the uninterrupted run bit for bit.
+    restore_checkpoint(result, totals);
+  }
+
+  for (std::size_t t = totals.start_round; t < config_.rounds; ++t) {
     if (std::binary_search(decay_rounds.begin(), decay_rounds.end(), t)) {
-      eta_l *= config_.lr_decay_factor;
+      totals.eta_l *= config_.lr_decay_factor;
     }
+    const float eta_l = totals.eta_l;
 
     if (config_.parallel_workers) {
       parallel_for(global_thread_pool(), m, [&](std::size_t w) {
@@ -221,7 +228,7 @@ TrainResult DistributedTrainer::train() {
       aggregate_mean(spans, exact_mean.span());
       round_matching_rate =
           sign_matching_rate(exact_mean.span(), global_update_.span());
-      matching_total += round_matching_rate;
+      totals.matching_total += round_matching_rate;
     }
 
     for (auto& replica : replicas_) {
@@ -230,17 +237,21 @@ TrainResult DistributedTrainer::train() {
 
     cumulative_seconds_ += compute_seconds + step.timing.completion_seconds;
     cumulative_bits_ += step.timing.total_wire_bits;
-    bits_per_element_total += step.bits_per_element;
-    active_workers_total += static_cast<double>(step.active_workers);
+    totals.bits_per_element_total += step.bits_per_element;
+    totals.active_workers_total += static_cast<double>(step.active_workers);
     if (step.active_workers < m) {
       ++result.degraded_rounds;
     }
     result.total_retransmitted_wire_bits +=
         step.timing.retransmitted_wire_bits;
     result.total_retransmissions += step.timing.retransmissions;
-    phase_totals.compute += compute_seconds;
-    phase_totals.compression += step.timing.compression_seconds_per_worker();
-    phase_totals.communication += step.timing.communication_seconds();
+    result.total_rejoins += step.rejoined_workers;
+    result.total_flush_rejoins += step.flush_rejoined_workers;
+    result.total_corruption_demotions += step.demoted_workers;
+    totals.phase_totals.compute += compute_seconds;
+    totals.phase_totals.compression +=
+        step.timing.compression_seconds_per_worker();
+    totals.phase_totals.communication += step.timing.communication_seconds();
     result.rounds_completed = t + 1;
 
     if (trace != nullptr) {
@@ -267,6 +278,16 @@ TrainResult DistributedTrainer::train() {
                  step.timing.communication_seconds());
       if (config_.track_matching_rate) {
         record.set("matching_rate", round_matching_rate);
+      }
+      if (strategy_.config().fault_plan.has_faults()) {
+        // Only fault-configured runs carry the recovery keys, so the
+        // default trace shape stays byte-identical to pre-fault builds.
+        record.set("rejoined_workers",
+                   static_cast<double>(step.rejoined_workers));
+        record.set("flush_rejoined_workers",
+                   static_cast<double>(step.flush_rejoined_workers));
+        record.set("demoted_workers",
+                   static_cast<double>(step.demoted_workers));
       }
       trace->add_round_record(std::move(record));
     }
@@ -311,6 +332,14 @@ TrainResult DistributedTrainer::train() {
         break;
       }
     }
+
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        (t + 1) % config_.checkpoint_every == 0) {
+      // After the round's evaluation, at the round boundary: replicas are
+      // bit-identical (MAR invariant) and the evals list is consistent with
+      // rounds_completed.
+      write_checkpoint(t + 1, result, totals);
+    }
   }
 
   if (result.evals.empty() || result.evals.back().round !=
@@ -331,15 +360,193 @@ TrainResult DistributedTrainer::train() {
       std::max<std::size_t>(1, result.rounds_completed));
   result.sim_seconds = cumulative_seconds_;
   result.total_wire_bits = cumulative_bits_;
-  result.mean_round_phases.compute = phase_totals.compute / rounds;
-  result.mean_round_phases.compression = phase_totals.compression / rounds;
+  result.mean_round_phases.compute = totals.phase_totals.compute / rounds;
+  result.mean_round_phases.compression =
+      totals.phase_totals.compression / rounds;
   result.mean_round_phases.communication =
-      phase_totals.communication / rounds;
-  result.mean_bits_per_element = bits_per_element_total / rounds;
+      totals.phase_totals.communication / rounds;
+  result.mean_bits_per_element = totals.bits_per_element_total / rounds;
   result.mean_matching_rate =
-      config_.track_matching_rate ? matching_total / rounds : 0.0;
-  result.mean_active_workers = active_workers_total / rounds;
+      config_.track_matching_rate ? totals.matching_total / rounds : 0.0;
+  result.mean_active_workers = totals.active_workers_total / rounds;
   return result;
+}
+
+void DistributedTrainer::write_checkpoint(std::size_t rounds_done,
+                                          const TrainResult& result,
+                                          const RunningTotals& totals) const {
+  const SyncConfig& sync = strategy_.config();
+  ckpt::Checkpoint checkpoint;
+  checkpoint.meta.round = rounds_done;
+  checkpoint.meta.param_count = param_count_;
+  checkpoint.meta.num_workers = sync.num_workers;
+  checkpoint.meta.trainer_seed = config_.seed;
+  checkpoint.meta.strategy_seed = sync.seed;
+  checkpoint.meta.fault_seed = sync.fault_plan.seed;
+  checkpoint.meta.strategy_name = strategy_.name();
+
+  // All replicas are bit-identical at a round boundary (the MAR invariant),
+  // so one copy of replica 0's parameters restores every worker.
+  checkpoint.params.resize(param_count_);
+  replicas_.front().copy_params_into(
+      {checkpoint.params.data(), checkpoint.params.size()});
+
+  ckpt::SnapshotWriter optimizer_state;
+  optimizer_state.u8(static_cast<std::uint8_t>(config_.optimizer));
+  optimizer_state.u64(static_cast<std::uint64_t>(optimizers_.size()));
+  for (const auto& optimizer : optimizers_) {
+    optimizer->save_state(optimizer_state);
+  }
+  checkpoint.optimizer_state = optimizer_state.bytes();
+
+  ckpt::SnapshotWriter strategy_state;
+  strategy_.save_state(strategy_state);
+  checkpoint.strategy_state = strategy_state.bytes();
+
+  // Cumulative accounting: stored, not replayed, so the resumed run's
+  // TrainResult equals the uninterrupted one exactly (replaying would need
+  // the skipped rounds' step results).
+  ckpt::SnapshotWriter trainer_state;
+  trainer_state.f32(totals.eta_l);
+  trainer_state.f64(cumulative_seconds_);
+  trainer_state.f64(cumulative_bits_);
+  trainer_state.f64(totals.phase_totals.compute);
+  trainer_state.f64(totals.phase_totals.compression);
+  trainer_state.f64(totals.phase_totals.communication);
+  trainer_state.f64(totals.bits_per_element_total);
+  trainer_state.f64(totals.matching_total);
+  trainer_state.f64(totals.active_workers_total);
+  trainer_state.u64(static_cast<std::uint64_t>(result.rounds_completed));
+  trainer_state.u64(static_cast<std::uint64_t>(result.degraded_rounds));
+  trainer_state.u64(static_cast<std::uint64_t>(result.total_retransmissions));
+  trainer_state.u64(static_cast<std::uint64_t>(result.total_rejoins));
+  trainer_state.u64(static_cast<std::uint64_t>(result.total_flush_rejoins));
+  trainer_state.u64(
+      static_cast<std::uint64_t>(result.total_corruption_demotions));
+  trainer_state.f64(result.total_retransmitted_wire_bits);
+  trainer_state.f64(result.best_test_accuracy);
+  trainer_state.u8(result.diverged ? 1 : 0);
+  trainer_state.u8(result.reached_stop_accuracy ? 1 : 0);
+  trainer_state.u64(static_cast<std::uint64_t>(result.evals.size()));
+  for (const EvalPoint& eval : result.evals) {
+    trainer_state.u64(static_cast<std::uint64_t>(eval.round));
+    trainer_state.f64(eval.sim_seconds);
+    trainer_state.f64(eval.wire_gigabits);
+    trainer_state.f64(eval.test_accuracy);
+    trainer_state.f64(eval.test_loss);
+  }
+  checkpoint.trainer_state = trainer_state.bytes();
+
+  const std::string path =
+      ckpt::expand_checkpoint_path(config_.checkpoint_path, rounds_done);
+  ckpt::save_checkpoint(path, checkpoint);
+  if (obs::metrics_enabled()) {
+    static const obs::Counter checkpoints("trainer.checkpoints");
+    checkpoints.increment();
+  }
+}
+
+void DistributedTrainer::restore_checkpoint(TrainResult& result,
+                                            RunningTotals& totals) {
+  const SyncConfig& sync = strategy_.config();
+  const ckpt::Checkpoint checkpoint =
+      ckpt::load_checkpoint(config_.resume_from);
+
+  // A checkpoint restores only into the run that produced it: same shape,
+  // same seeds, same strategy.  Anything else would resume *a* run, not
+  // *this* run — reject loudly instead.
+  const ckpt::CheckpointMeta& meta = checkpoint.meta;
+  MARSIT_CHECK(meta.param_count == param_count_)
+      << "checkpoint has " << meta.param_count << " parameters, model has "
+      << param_count_;
+  MARSIT_CHECK(meta.num_workers == sync.num_workers)
+      << "checkpoint ran " << meta.num_workers << " workers, config says "
+      << sync.num_workers;
+  MARSIT_CHECK(meta.strategy_name == strategy_.name())
+      << "checkpoint strategy '" << meta.strategy_name << "' vs live '"
+      << strategy_.name() << "'";
+  MARSIT_CHECK(meta.trainer_seed == config_.seed)
+      << "checkpoint trainer seed " << meta.trainer_seed << " vs "
+      << config_.seed;
+  MARSIT_CHECK(meta.strategy_seed == sync.seed)
+      << "checkpoint strategy seed " << meta.strategy_seed << " vs "
+      << sync.seed;
+  MARSIT_CHECK(meta.fault_seed == sync.fault_plan.seed)
+      << "checkpoint fault seed " << meta.fault_seed << " vs "
+      << sync.fault_plan.seed;
+  MARSIT_CHECK(meta.round <= config_.rounds)
+      << "checkpoint at round " << meta.round << " is past the configured "
+      << config_.rounds;
+
+  for (auto& replica : replicas_) {
+    replica.load_params({checkpoint.params.data(), checkpoint.params.size()});
+  }
+
+  ckpt::SnapshotReader optimizer_state({checkpoint.optimizer_state.data(),
+                                        checkpoint.optimizer_state.size()});
+  const auto kind = static_cast<OptimizerKind>(optimizer_state.u8());
+  MARSIT_CHECK(kind == config_.optimizer)
+      << "checkpoint optimizer kind differs from the configured one";
+  const std::uint64_t optimizer_count = optimizer_state.u64();
+  MARSIT_CHECK(optimizer_count == optimizers_.size())
+      << "checkpoint has " << optimizer_count << " optimizer states for "
+      << optimizers_.size() << " workers";
+  for (auto& optimizer : optimizers_) {
+    optimizer->load_state(optimizer_state);
+  }
+  MARSIT_CHECK(optimizer_state.done())
+      << "optimizer section has trailing bytes";
+
+  ckpt::SnapshotReader strategy_state({checkpoint.strategy_state.data(),
+                                       checkpoint.strategy_state.size()});
+  strategy_.load_state(strategy_state);
+  MARSIT_CHECK(strategy_state.done()) << "strategy section has trailing bytes";
+
+  ckpt::SnapshotReader trainer_state({checkpoint.trainer_state.data(),
+                                      checkpoint.trainer_state.size()});
+  totals.eta_l = trainer_state.f32();
+  cumulative_seconds_ = trainer_state.f64();
+  cumulative_bits_ = trainer_state.f64();
+  totals.phase_totals.compute = trainer_state.f64();
+  totals.phase_totals.compression = trainer_state.f64();
+  totals.phase_totals.communication = trainer_state.f64();
+  totals.bits_per_element_total = trainer_state.f64();
+  totals.matching_total = trainer_state.f64();
+  totals.active_workers_total = trainer_state.f64();
+  result.rounds_completed =
+      static_cast<std::size_t>(trainer_state.u64());
+  result.degraded_rounds = static_cast<std::size_t>(trainer_state.u64());
+  result.total_retransmissions =
+      static_cast<std::size_t>(trainer_state.u64());
+  result.total_rejoins = static_cast<std::size_t>(trainer_state.u64());
+  result.total_flush_rejoins = static_cast<std::size_t>(trainer_state.u64());
+  result.total_corruption_demotions =
+      static_cast<std::size_t>(trainer_state.u64());
+  result.total_retransmitted_wire_bits = trainer_state.f64();
+  result.best_test_accuracy = trainer_state.f64();
+  result.diverged = trainer_state.u8() != 0;
+  result.reached_stop_accuracy = trainer_state.u8() != 0;
+  const std::uint64_t eval_count = trainer_state.u64();
+  result.evals.clear();
+  result.evals.reserve(static_cast<std::size_t>(eval_count));
+  for (std::uint64_t i = 0; i < eval_count; ++i) {
+    EvalPoint eval;
+    eval.round = static_cast<std::size_t>(trainer_state.u64());
+    eval.sim_seconds = trainer_state.f64();
+    eval.wire_gigabits = trainer_state.f64();
+    eval.test_accuracy = trainer_state.f64();
+    eval.test_loss = trainer_state.f64();
+    result.evals.push_back(eval);
+  }
+  MARSIT_CHECK(trainer_state.done()) << "trainer section has trailing bytes";
+  MARSIT_CHECK(result.rounds_completed == meta.round)
+      << "trainer section rounds_completed " << result.rounds_completed
+      << " disagrees with meta round " << meta.round;
+
+  totals.start_round = static_cast<std::size_t>(meta.round);
+  result.resumed_from_round = totals.start_round;
+  MARSIT_LOG(kInfo) << "resumed from " << config_.resume_from << " at round "
+                    << totals.start_round;
 }
 
 }  // namespace marsit

@@ -26,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/sync_strategy.hpp"
@@ -70,6 +71,21 @@ struct TrainerConfig {
   bool parallel_workers = true;
   /// Samples used for the train_* running metrics (0 disables).
   std::size_t train_metric_samples = 0;
+
+  // --- checkpoint/restore (DESIGN.md §11) ----------------------------------
+  /// Write a checkpoint to `checkpoint_path` every this-many completed
+  /// rounds (0 disables).  Checkpoints land after the round's evaluation,
+  /// at the round boundary where all replicas are bit-identical.
+  std::size_t checkpoint_every = 0;
+  /// Destination for cadenced checkpoints.  A "{round}" placeholder expands
+  /// to the completed-round count (per-round history); without it the one
+  /// file is overwritten each time.
+  std::string checkpoint_path;
+  /// Resume from this checkpoint file before round 0 (empty = fresh run).
+  /// The checkpoint's meta must match the live run (shape, seeds, strategy
+  /// name); training then continues from the stored round and is
+  /// bit-identical to the uninterrupted run.
+  std::string resume_from;
 };
 
 struct EvalPoint {
@@ -104,11 +120,23 @@ struct TrainResult {
   std::size_t degraded_rounds = 0;
   /// Mean surviving-worker count per round (== num_workers when fault-free).
   double mean_active_workers = 0.0;
-  /// Wire bits resent due to simulated packet loss, on top of
-  /// total_wire_bits (which counts each payload once).
+  /// Wire bits resent due to simulated packet loss or detected payload
+  /// corruption, on top of total_wire_bits (which counts each payload once).
   double total_retransmitted_wire_bits = 0.0;
   /// Number of simulated retransmissions across all rounds.
   std::size_t total_retransmissions = 0;
+  /// Workers re-admitted after sitting out at least one round (includes the
+  /// flush-gated subset below).
+  std::size_t total_rejoins = 0;
+  /// Rejoins that waited for the K-round full-precision flush barrier
+  /// (FaultPlan::DropOut::rejoin_at_flush).
+  std::size_t total_flush_rejoins = 0;
+  /// Senders excluded from a round because their payload stayed corrupted
+  /// past the retry budget (never folded into the aggregate).
+  std::size_t total_corruption_demotions = 0;
+  /// Round this run resumed from (0 = fresh run); informational only, not
+  /// part of the golden digests.
+  std::size_t resumed_from_round = 0;
 };
 
 class DistributedTrainer {
@@ -135,7 +163,27 @@ class DistributedTrainer {
   void copy_params_into(std::span<float> out) const;
 
  private:
+  /// Accumulators that live across rounds and must survive a
+  /// checkpoint/resume cycle together with TrainResult (everything train()
+  /// folds into the final means is derived from these at the end).
+  struct RunningTotals {
+    PhaseTimes phase_totals;
+    double bits_per_element_total = 0.0;
+    double matching_total = 0.0;
+    double active_workers_total = 0.0;
+    float eta_l = 0.0f;
+    /// First round index the loop should execute (0 unless resumed).
+    std::size_t start_round = 0;
+  };
+
   void worker_round(std::size_t worker, std::size_t round, float eta_l);
+  /// Serializes the complete run state after `rounds_done` rounds to
+  /// config_.checkpoint_path (with "{round}" expanded).
+  void write_checkpoint(std::size_t rounds_done, const TrainResult& result,
+                        const RunningTotals& totals) const;
+  /// Restores a run from config_.resume_from, rejecting checkpoints whose
+  /// meta does not match this trainer/strategy (always-on checks).
+  void restore_checkpoint(TrainResult& result, RunningTotals& totals);
 
   const Dataset& dataset_;
   SyncStrategy& strategy_;

@@ -106,5 +106,58 @@ void torus_shape(std::size_t rows, std::size_t cols,
   }
 }
 
+void snapshot_header(std::uint32_t version, std::uint32_t supported_version,
+                     std::uint64_t declared_digest,
+                     std::uint64_t actual_digest, std::uint64_t param_count,
+                     std::uint64_t num_workers) {
+  if (version < 1 || version > supported_version) {
+    std::ostringstream out;
+    out << "format version " << version << " outside the supported range [1, "
+        << supported_version << "]";
+    fail("snapshot-header", out.str());
+  }
+  if (declared_digest != actual_digest) {
+    std::ostringstream out;
+    out << "payload digest mismatch: header declares " << std::hex
+        << declared_digest << ", payload hashes to " << actual_digest;
+    fail("snapshot-header", out.str());
+  }
+  if (param_count == 0) {
+    fail("snapshot-header", "snapshot declares an empty model");
+  }
+  if (num_workers < 2) {
+    std::ostringstream out;
+    out << "snapshot declares " << num_workers
+        << " workers; a run needs at least 2";
+    fail("snapshot-header", out.str());
+  }
+}
+
+void rejoin_membership(std::span<const std::size_t> rejoined,
+                       std::size_t num_workers, std::size_t round,
+                       std::size_t flush_period) {
+  for (std::size_t i = 0; i < rejoined.size(); ++i) {
+    if (rejoined[i] >= num_workers) {
+      std::ostringstream out;
+      out << "rejoining worker " << rejoined[i] << " out of range [0, "
+          << num_workers << ")";
+      fail("rejoin-membership", out.str());
+    }
+    if (i > 0 && rejoined[i] <= rejoined[i - 1]) {
+      std::ostringstream out;
+      out << "rejoining workers " << rejoined[i - 1] << ", " << rejoined[i]
+          << " out of order at position " << i
+          << "; the rejoined set must be strictly increasing";
+      fail("rejoin-membership", out.str());
+    }
+  }
+  if (!rejoined.empty() && flush_period > 0 && round % flush_period != 0) {
+    std::ostringstream out;
+    out << "flush-gated rejoin at round " << round
+        << ", which is not a multiple of the flush period " << flush_period;
+    fail("rejoin-membership", out.str());
+  }
+}
+
 }  // namespace validate
 }  // namespace marsit

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <sstream>
 #include <string>
@@ -115,6 +116,23 @@ void membership(std::span<const std::size_t> members, std::size_t num_workers);
 /// A (re-formed) torus shape: rows and cols both >= 2 and tiling exactly
 /// `num_workers` members.
 void torus_shape(std::size_t rows, std::size_t cols, std::size_t num_workers);
+
+/// Snapshot header consistency at a restore site: the format version is one
+/// this build supports, the payload digest matches the recomputed one, and
+/// the declared shape is trainable (non-empty model, quorum-sized fleet).
+void snapshot_header(std::uint32_t version, std::uint32_t supported_version,
+                     std::uint64_t declared_digest,
+                     std::uint64_t actual_digest, std::uint64_t param_count,
+                     std::uint64_t num_workers);
+
+/// Rejoin re-admission: every rejoining worker is a configured worker, the
+/// set is strictly increasing, and — when a flush period gates the rejoin —
+/// re-admission happens only at a full-precision flush boundary
+/// (round % flush_period == 0), the consistency barrier where no per-worker
+/// history is needed.
+void rejoin_membership(std::span<const std::size_t> rejoined,
+                       std::size_t num_workers, std::size_t round,
+                       std::size_t flush_period);
 
 }  // namespace validate
 }  // namespace marsit

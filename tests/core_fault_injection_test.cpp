@@ -274,5 +274,174 @@ TEST(FaultInjectionTest, ShardedScratchReallocatedWhenMembershipGrows) {
                        "post-recovery refresh round");
 }
 
+// --- elastic rejoin at the K-round flush -------------------------------------------
+
+/// Runs `rounds` rounds of Marsit with flush period K = 4, recording
+/// outputs and per-round step results.
+struct RejoinTrace {
+  std::vector<float> outputs;
+  std::vector<SyncStepResult> steps;
+};
+
+RejoinTrace run_marsit_rejoin(const FaultPlan& plan, std::size_t rounds) {
+  SyncConfig config = base_config(4);
+  config.fault_plan = plan;
+  MethodOptions options;
+  options.full_precision_period = 4;  // flushes at rounds 0, 4, 8
+  auto strategy = make_sync_strategy(SyncMethod::kMarsit, config, options);
+  RejoinTrace trace;
+  std::vector<float> out(kDim);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    const auto inputs = make_inputs(4, t);
+    trace.steps.push_back(
+        strategy->synchronize(as_spans(inputs), {out.data(), out.size()}));
+    trace.outputs.insert(trace.outputs.end(), out.begin(), out.end());
+  }
+  return trace;
+}
+
+TEST(FaultInjectionTest, RejoinAtFlushWaitsForBarrierAndReportsRejoins) {
+  // Worker 2 drops at round 2 with to_round = 3; the rejoin_at_flush window
+  // holds it out through round 3 and re-admits it exactly at the flush
+  // (round 4), where the strategy reports a flush rejoin.
+  FaultPlan plan;
+  plan.dropouts.push_back({2, 2, 3, true});
+  const RejoinTrace trace = run_marsit_rejoin(plan, 6);
+  const std::vector<std::size_t> active = {4, 4, 3, 3, 4, 4};
+  for (std::size_t t = 0; t < active.size(); ++t) {
+    EXPECT_EQ(trace.steps[t].active_workers, active[t]) << "round " << t;
+  }
+  EXPECT_EQ(trace.steps[4].rejoined_workers, 1u);
+  EXPECT_EQ(trace.steps[4].flush_rejoined_workers, 1u);
+  EXPECT_EQ(trace.steps[3].rejoined_workers, 0u);
+  EXPECT_EQ(trace.steps[5].rejoined_workers, 0u);
+
+  // Without the flag the worker returns at round 3 — a plain carry-forward
+  // rejoin, exactly the PR-2 semantics.
+  FaultPlan carry;
+  carry.dropouts.push_back({2, 2, 3, false});
+  const RejoinTrace plain = run_marsit_rejoin(carry, 6);
+  EXPECT_EQ(plain.steps[2].active_workers, 3u);
+  EXPECT_EQ(plain.steps[3].active_workers, 4u);
+  EXPECT_EQ(plain.steps[3].rejoined_workers, 1u);
+  EXPECT_EQ(plain.steps[3].flush_rejoined_workers, 0u);
+}
+
+TEST(FaultInjectionTest, FlushRejoinDiscardsStaleCompensation) {
+  // Worker 2 accumulates compensation on one-bit rounds 1–2, then drops
+  // over [3, 4).  Both plans re-admit it at round 4 (the flush), but only
+  // the rejoin_at_flush one discards its stale residual at the barrier —
+  // so the runs agree bit-for-bit up to the flush and differ exactly there
+  // (the flush folds c into the mean).
+  FaultPlan barrier;
+  barrier.dropouts.push_back({2, 3, 4, true});
+  FaultPlan carry;
+  carry.dropouts.push_back({2, 3, 4, false});
+  const RejoinTrace discarded = run_marsit_rejoin(barrier, 5);
+  const RejoinTrace carried = run_marsit_rejoin(carry, 5);
+
+  const auto round_span = [](const RejoinTrace& t, std::size_t r) {
+    return std::vector<float>(t.outputs.begin() + r * kDim,
+                              t.outputs.begin() + (r + 1) * kDim);
+  };
+  for (std::size_t t = 0; t < 4; ++t) {
+    expect_bit_identical(round_span(discarded, t), round_span(carried, t),
+                         "pre-flush round");
+  }
+  EXPECT_NE(round_span(discarded, 4), round_span(carried, 4))
+      << "flush rejoin must discard the stale compensation the carry run "
+         "folds in";
+  EXPECT_EQ(discarded.steps[4].flush_rejoined_workers, 1u);
+  EXPECT_EQ(carried.steps[4].flush_rejoined_workers, 0u);
+}
+
+// --- corruption demotion -----------------------------------------------------------
+
+TEST(FaultInjectionTest, DemotedSenderNeverFoldsIntoAggregate) {
+  // The aggregate of a corruption-demoting run must equal the aggregate of
+  // a run whose explicit drop-out windows mirror the demotion pattern: a
+  // demoted sender is excluded exactly like an absent worker (values; the
+  // timing additionally carries the burned retransmissions).
+  FaultPlan corrupt;
+  corrupt.seed = 31;
+  corrupt.corruption_rate = 0.5;
+  corrupt.max_retries = 1;  // demotion probability 0.25 per (worker, round)
+  corrupt.retry_timeout = 1e-6;
+
+  FaultPlan mirrored;  // membership-only twin of the demotion pattern
+  std::size_t demotions = 0;
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    for (std::size_t w = 0; w < 4; ++w) {
+      if (corrupt.sender_demoted(w, t)) {
+        mirrored.dropouts.push_back({w, t, t + 1});
+        ++demotions;
+      }
+    }
+  }
+  ASSERT_GT(demotions, 0u) << "seed produced no demotions; pick another";
+
+  SyncConfig corrupt_config = base_config(4);
+  corrupt_config.fault_plan = corrupt;
+  SyncConfig mirrored_config = base_config(4);
+  mirrored_config.fault_plan = mirrored;
+  for (const SyncMethod method : kValueMethods) {
+    const RunTrace demoted = run_rounds(method, corrupt_config);
+    const RunTrace absent = run_rounds(method, mirrored_config);
+    expect_bit_identical(demoted.outputs, absent.outputs,
+                         sync_method_name(method));
+    EXPECT_EQ(demoted.active, absent.active) << sync_method_name(method);
+  }
+}
+
+TEST(FaultInjectionTest, DemotionChargesBurnedRetransmissions) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.corruption_rate = 0.5;
+  plan.max_retries = 1;
+  plan.retry_timeout = 1e-6;
+  SyncConfig config = base_config(4);
+  config.fault_plan = plan;
+  auto strategy = make_sync_strategy(SyncMethod::kSignSgdMv, config);
+  std::vector<float> out(kDim);
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    const auto inputs = make_inputs(4, t);
+    const SyncStepResult step =
+        strategy->synchronize(as_spans(inputs), {out.data(), out.size()});
+    std::size_t expected_demoted = 0;
+    for (std::size_t w = 0; w < 4; ++w) {
+      expected_demoted += plan.sender_demoted(w, t) ? 1 : 0;
+    }
+    EXPECT_EQ(step.demoted_workers, expected_demoted) << "round " << t;
+    if (expected_demoted > 0) {
+      // Each demoted sender burned (max_retries + 1) full payloads (plus
+      // CRC footers) before giving up; those bits are charged as
+      // retransmitted on top of the delivered traffic.
+      const double per_sender =
+          2.0 * (step.bits_per_element * static_cast<double>(kDim) + 32.0);
+      EXPECT_GE(step.timing.retransmitted_wire_bits,
+                per_sender * static_cast<double>(expected_demoted))
+          << "round " << t;
+      EXPECT_GE(step.timing.retransmissions, 2 * expected_demoted)
+          << "round " << t;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, SaturatedCorruptionFallsBackToQuorum) {
+  // With every sender demoted every round, the quorum rule re-admits the
+  // two lowest-indexed workers (modeled as retransmit-until-clean) so the
+  // collective stays well-formed.
+  FaultPlan plan;
+  plan.corruption_rate = 0.999999;
+  plan.max_retries = 1;
+  plan.retry_timeout = 1e-6;
+  SyncConfig config = base_config(4);
+  config.fault_plan = plan;
+  const RunTrace trace = run_rounds(SyncMethod::kPsgd, config);
+  EXPECT_EQ(trace.active, std::vector<std::size_t>(kRounds, 2));
+  const RunTrace expect = run_rounds(SyncMethod::kPsgd, base_config(2));
+  expect_bit_identical(trace.outputs, expect.outputs, "quorum after demotion");
+}
+
 }  // namespace
 }  // namespace marsit

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "net/crc32.hpp"
+
 namespace marsit {
 namespace {
 
@@ -237,6 +242,142 @@ TEST(FaultPlanTest, BernoulliDropoutDeterministicAndCalibrated) {
   }
   const double rate = static_cast<double>(absent) / draws;
   EXPECT_NEAR(rate, 0.3, 0.03);
+}
+
+// --- wire integrity (corruption + CRC32) -------------------------------------------
+
+TEST(Crc32Test, MatchesReferenceCheckValue) {
+  // The standard CRC-32/IEEE check value: crc32("123456789").
+  const char* digits = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_TRUE(crc32_matches(digits, 9, 0xCBF43926u));
+  EXPECT_FALSE(crc32_matches(digits, 9, 0xCBF43927u));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> payload(64, 0xa5);
+  const std::uint32_t footer = crc32(payload.data(), payload.size());
+  payload[17] ^= 0x04;
+  EXPECT_FALSE(crc32_matches(payload.data(), payload.size(), footer));
+}
+
+TEST(NetworkSimFaultTest, CorruptionAddsCrcFooterToEveryMessage) {
+  FaultPlan plan;
+  plan.corruption_rate = 1e-12;  // footer cost even when nothing corrupts
+  plan.retry_timeout = 1.0;
+  NetworkSim net(2, simple_model());
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  // 100 payload bytes + 4 CRC footer bytes at 100 B/s + 1 s latency.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 0.0), 2.04);
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 104.0);
+  EXPECT_EQ(net.retransmissions(), 0u);
+}
+
+TEST(NetworkSimFaultTest, CorruptionRetriesWithBackoffAndCountsBits) {
+  FaultPlan plan;
+  plan.corruption_rate = 0.999999;  // effectively always corrupted
+  plan.max_retries = 3;
+  plan.retry_timeout = 1.0;
+  plan.retry_backoff = 2.0;
+  NetworkSim net(2, simple_model());
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  // 3 corrupted attempts burn timeouts 1 + 2 + 4 = 7 s, then the CRC
+  // passes: 7 + 1 + 104/100 = 9.04 s.  Every burned attempt carries the
+  // footer too.
+  EXPECT_DOUBLE_EQ(net.transfer(0, 1, 100.0, 0.0), 9.04);
+  EXPECT_DOUBLE_EQ(net.retransmitted_bytes(), 3.0 * 104.0);
+  EXPECT_EQ(net.retransmissions(), 3u);
+  EXPECT_DOUBLE_EQ(net.total_bytes(), 4.0 * 104.0);
+}
+
+TEST(NetworkSimFaultTest, CorruptionRateValidated) {
+  const auto attach = [](const FaultPlan& plan) {
+    NetworkSim net(2, simple_model());
+    net.set_fault_plan(&plan);
+  };
+  FaultPlan saturated;
+  saturated.corruption_rate = 1.0;  // retry loop must terminate
+  EXPECT_THROW(attach(saturated), CheckError);
+  FaultPlan no_timeout;
+  no_timeout.corruption_rate = 0.5;
+  no_timeout.retry_timeout = 0.0;
+  EXPECT_THROW(attach(no_timeout), CheckError);
+}
+
+TEST(FaultPlanTest, CorruptionOnlyPlanReportsFaults) {
+  // ISSUE satellite fix: a default-constructed plan with only the
+  // corruption knob (or only a rejoin window) set must still trip the
+  // fault-path predicates.
+  FaultPlan corruption_only;
+  corruption_only.corruption_rate = 0.25;
+  EXPECT_TRUE(corruption_only.has_faults());
+  EXPECT_TRUE(corruption_only.has_link_faults());
+  EXPECT_FALSE(corruption_only.has_membership_faults());
+  EXPECT_TRUE(corruption_only.affects_membership());
+
+  FaultPlan rejoin_only;
+  rejoin_only.dropouts.push_back({1, 3, 6, true});
+  EXPECT_TRUE(rejoin_only.has_faults());
+  EXPECT_TRUE(rejoin_only.has_membership_faults());
+  EXPECT_TRUE(rejoin_only.affects_membership());
+
+  FaultPlan empty;
+  EXPECT_FALSE(empty.has_faults());
+  EXPECT_FALSE(empty.affects_membership());
+}
+
+TEST(FaultPlanTest, SenderDemotionIsDeterministicAndRateBound) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.corruption_rate = 0.999999;
+  plan.max_retries = 2;
+  // Nearly-certain corruption exhausts the retry budget essentially always.
+  std::size_t demoted = 0;
+  for (std::size_t round = 0; round < 50; ++round) {
+    const bool d = plan.sender_demoted(0, round);
+    EXPECT_EQ(d, plan.sender_demoted(0, round));  // pure function
+    demoted += d ? 1 : 0;
+  }
+  EXPECT_EQ(demoted, 50u);
+  // A clean wire never demotes.
+  plan.corruption_rate = 0.0;
+  EXPECT_FALSE(plan.sender_demoted(0, 0));
+  // Moderate corruption demotes at ~rate^(max_retries+1): p=0.5^3 = 0.125.
+  plan.corruption_rate = 0.5;
+  std::size_t rare = 0;
+  const std::size_t draws = 4000;
+  for (std::size_t round = 0; round < draws / 4; ++round) {
+    for (std::size_t worker = 0; worker < 4; ++worker) {
+      rare += plan.sender_demoted(worker, round) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(rare) / draws, 0.125, 0.02);
+}
+
+TEST(FaultPlanTest, RejoinAtFlushExtendsWindowToBoundary) {
+  FaultPlan plan;
+  plan.dropouts.push_back({2, 3, 6, true});
+  // With flush period K = 4, the window [3, 6) stretches to the next
+  // multiple of 4: [3, 8).
+  EXPECT_FALSE(plan.worker_absent(2, 2, 4));
+  EXPECT_TRUE(plan.worker_absent(2, 5, 4));
+  EXPECT_TRUE(plan.worker_absent(2, 6, 4));   // would have returned at 6
+  EXPECT_TRUE(plan.worker_absent(2, 7, 4));
+  EXPECT_FALSE(plan.worker_absent(2, 8, 4));  // back at the flush
+  EXPECT_TRUE(plan.flush_rejoin_at(2, 8, 4));
+  EXPECT_FALSE(plan.flush_rejoin_at(2, 6, 4));
+  EXPECT_FALSE(plan.flush_rejoin_at(1, 8, 4));
+  // A window already ending on a boundary gains nothing.
+  FaultPlan aligned;
+  aligned.dropouts.push_back({1, 2, 8, true});
+  EXPECT_TRUE(aligned.worker_absent(1, 7, 4));
+  EXPECT_FALSE(aligned.worker_absent(1, 8, 4));
+  EXPECT_TRUE(aligned.flush_rejoin_at(1, 8, 4));
+  // No flush period (K = 0): plain [from, to) semantics, no flush rejoin.
+  EXPECT_FALSE(plan.worker_absent(2, 6, 0));
+  EXPECT_FALSE(plan.flush_rejoin_at(2, 8, 0));
 }
 
 }  // namespace

@@ -76,6 +76,38 @@ TEST(ValidateContractTest, TorusShapeMustTileMembership) {
   EXPECT_THROW(validate::torus_shape(2, 3, 5), ValidateError);
 }
 
+TEST(ValidateContractTest, SnapshotHeaderConsistency) {
+  // version in [1, supported], digest equality, trainable shape.
+  EXPECT_NO_THROW(validate::snapshot_header(1, 1, 0xabcd, 0xabcd, 10, 4));
+  EXPECT_NO_THROW(validate::snapshot_header(1, 2, 0xabcd, 0xabcd, 10, 4));
+  EXPECT_THROW(validate::snapshot_header(0, 1, 1, 1, 10, 4), ValidateError);
+  EXPECT_THROW(validate::snapshot_header(2, 1, 1, 1, 10, 4), ValidateError);
+  EXPECT_THROW(validate::snapshot_header(1, 1, 1, 2, 10, 4), ValidateError);
+  EXPECT_THROW(validate::snapshot_header(1, 1, 1, 1, 0, 4), ValidateError);
+  EXPECT_THROW(validate::snapshot_header(1, 1, 1, 1, 10, 1), ValidateError);
+}
+
+TEST(ValidateContractTest, RejoinMembershipFlushBoundaryOnly) {
+  const std::vector<std::size_t> rejoined = {1, 3};
+  // Flush-gated rejoins may land only on multiples of the flush period.
+  EXPECT_NO_THROW(validate::rejoin_membership(rejoined, 4, 8, 4));
+  EXPECT_THROW(validate::rejoin_membership(rejoined, 4, 7, 4),
+               ValidateError);
+  // Ungated rejoins (flush_period 0) may land anywhere; so may empty sets.
+  EXPECT_NO_THROW(validate::rejoin_membership(rejoined, 4, 7, 0));
+  EXPECT_NO_THROW(validate::rejoin_membership({}, 4, 7, 4));
+  // The rejoined set must be strictly increasing configured workers.
+  const std::vector<std::size_t> out_of_range = {4};
+  EXPECT_THROW(validate::rejoin_membership(out_of_range, 4, 8, 4),
+               ValidateError);
+  const std::vector<std::size_t> unsorted = {3, 1};
+  EXPECT_THROW(validate::rejoin_membership(unsorted, 4, 8, 4),
+               ValidateError);
+  const std::vector<std::size_t> duplicate = {1, 1};
+  EXPECT_THROW(validate::rejoin_membership(duplicate, 4, 8, 4),
+               ValidateError);
+}
+
 TEST(ValidateContractTest, ShardPlansCoverExactly) {
   // The real planner's grids always satisfy the contract, across odd sizes,
   // word-multiples, and hints smaller than a word.

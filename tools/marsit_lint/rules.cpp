@@ -316,6 +316,11 @@ iwyu_symbol_headers() {
           {"thread", {"thread"}},
           {"ostringstream", {"sstream"}},
           {"istringstream", {"sstream"}},
+          {"ifstream", {"fstream"}},
+          {"ofstream", {"fstream"}},
+          {"memcpy", {"cstring"}},
+          {"memcmp", {"cstring"}},
+          {"to_string", {"string"}},
           {"size_t", {"cstddef"}},
           {"ptrdiff_t", {"cstddef"}},
           {"uint8_t", {"cstdint"}},

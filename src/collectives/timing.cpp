@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "compress/sign_sum.hpp"
 #include "obs/trace.hpp"
+#include "parallel/shard.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
@@ -480,6 +483,141 @@ CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
       static_cast<double>(levels) * dd * wire.overlapped_seconds_per_element;
   retrans.record_into(timing, net);
   return timing;
+}
+
+namespace {
+
+/// Temporarily uninstalls the trace session.  The pipelined composition's
+/// serial-reference measurement replays every chunk on a scratch simulator;
+/// without this guard those phantom schedules would emit phase/hop spans.
+class TraceSuppressScope {
+ public:
+  TraceSuppressScope() : saved_(obs::TraceSession::current()) {
+    obs::TraceSession::install(nullptr);
+  }
+  ~TraceSuppressScope() { obs::TraceSession::install(saved_); }
+  TraceSuppressScope(const TraceSuppressScope&) = delete;
+  TraceSuppressScope& operator=(const TraceSuppressScope&) = delete;
+
+ private:
+  obs::TraceSession* saved_;
+};
+
+/// Emits one pipeline-lane span ("stage" category).  Lane tracks sit above
+/// the fabric-node tracks: 1 + num_nodes + lane.
+void trace_stage(const char* name, std::size_t chunk, double local_start,
+                 double local_end, std::size_t num_nodes, std::size_t lane) {
+  if (obs::TraceSession* trace = obs::TraceSession::current()) {
+    const double offset = trace->time_offset();
+    trace->add_span(std::string(name) + " chunk " + std::to_string(chunk),
+                    "stage", offset + local_start, offset + local_end,
+                    static_cast<std::uint32_t>(1 + num_nodes + lane));
+  }
+}
+
+}  // namespace
+
+CollectiveTiming pipelined_collective_timing(
+    std::size_t d, std::size_t chunk_elements, const WireFormat& wire,
+    NetworkSim& net, const ChunkCollectiveFn& collective,
+    std::span<const double> chunk_ready,
+    std::vector<ChunkStageTiming>* stages_out) {
+  const ShardPlan plan(d, chunk_elements);
+  const std::size_t num_chunks = plan.num_chunks();
+  MARSIT_CHECK(num_chunks >= 1) << "pipelined timing over an empty payload";
+  MARSIT_CHECK(chunk_ready.empty() || chunk_ready.size() == num_chunks)
+      << "chunk_ready carries " << chunk_ready.size() << " entries for "
+      << num_chunks << " chunks";
+
+  // Pack and fold live in their own lanes; the sub-collectives must not
+  // charge them again.
+  WireFormat wire_chunk = wire;
+  wire_chunk.initial_pack_seconds_per_element = 0.0;
+  wire_chunk.final_unpack_seconds_per_element = 0.0;
+
+  // Serial reference: the same chunk on a fresh, fault-free fabric, cached
+  // per distinct chunk length (at most two: body and tail).
+  NetworkSim scratch(net.num_nodes(), net.cost_model());
+  std::map<std::size_t, double> serial_cache;
+  const auto serial_transfer_seconds = [&](std::size_t elements) {
+    const auto found = serial_cache.find(elements);
+    if (found != serial_cache.end()) {
+      return found->second;
+    }
+    const TraceSuppressScope quiet;
+    scratch.reset();
+    const double seconds =
+        collective(elements, wire_chunk, scratch, 0.0).completion_seconds;
+    serial_cache.emplace(elements, seconds);
+    return seconds;
+  };
+
+  const double pack_spe = wire.initial_pack_seconds_per_element;
+  const double unpack_spe = wire.final_unpack_seconds_per_element;
+
+  CollectiveTiming total;
+  if (stages_out != nullptr) {
+    stages_out->clear();
+    stages_out->reserve(num_chunks);
+  }
+  double pack_cursor = 0.0;
+  double fold_cursor = 0.0;
+  double serial_total = 0.0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const Shard shard = plan.chunk(c);
+    const double n = static_cast<double>(shard.size());
+
+    ChunkStageTiming stage;
+    stage.chunk = c;
+    stage.elements = shard.size();
+    const double ready = chunk_ready.empty() ? 0.0 : chunk_ready[c];
+    stage.pack_start = std::max(pack_cursor, ready);
+    stage.pack_end = stage.pack_start + pack_spe * n;
+    pack_cursor = stage.pack_end;
+
+    // The shared simulator serializes this chunk behind whatever NIC time
+    // earlier chunks still hold, and applies the attached fault plan per
+    // chunk-message — a lost chunk-message's retry stalls only this slot.
+    const CollectiveTiming t =
+        collective(shard.size(), wire_chunk, net, stage.pack_end);
+    stage.transfer_start = stage.pack_end;
+    stage.transfer_end = stage.pack_end + t.completion_seconds;
+
+    stage.fold_start = std::max(stage.transfer_end, fold_cursor);
+    stage.fold_end = stage.fold_start + unpack_spe * n;
+    fold_cursor = stage.fold_end;
+
+    serial_total +=
+        pack_spe * n + serial_transfer_seconds(shard.size()) + unpack_spe * n;
+
+    total.total_wire_bits += t.total_wire_bits;
+    total.bits_per_worker += t.bits_per_worker;
+    total.retransmitted_wire_bits += t.retransmitted_wire_bits;
+    total.retransmissions += t.retransmissions;
+    // With pack/unpack zeroed in wire_chunk the sub-collective's serial
+    // share is the per-hop processing only; the pack and fold lanes are
+    // this worker's remaining critical-path compression work.
+    total.serial_compression_seconds_per_worker +=
+        pack_spe * n + t.serial_compression_seconds_per_worker +
+        unpack_spe * n;
+    total.overlapped_compression_seconds_per_worker +=
+        t.overlapped_compression_seconds_per_worker;
+
+    trace_stage("pack", c, stage.pack_start, stage.pack_end, net.num_nodes(),
+                0);
+    trace_stage("transfer", c, stage.transfer_start, stage.transfer_end,
+                net.num_nodes(), 1);
+    trace_stage("fold", c, stage.fold_start, stage.fold_end, net.num_nodes(),
+                2);
+    if (stages_out != nullptr) {
+      stages_out->push_back(stage);
+    }
+  }
+
+  total.completion_seconds = fold_cursor;
+  total.serial_completion_seconds = serial_total;
+  total.pipeline_chunks = num_chunks;
+  return total;
 }
 
 }  // namespace marsit

@@ -9,6 +9,7 @@
 #include "net/crc32.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "parallel/pipeline.hpp"
 #include "parallel/shard.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -266,12 +267,14 @@ const WorkerSpans& SyncStrategy::active_inputs(const WorkerSpans& inputs) {
   return active_scratch_;
 }
 
-CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
-                                          const WireFormat& wire) {
+CollectiveTiming SyncStrategy::base_collective_timing(std::size_t d,
+                                                      const WireFormat& wire,
+                                                      NetworkSim& net,
+                                                      double start_time) {
   const std::size_t m = active_.size();
   switch (config_.paradigm) {
     case MarParadigm::kRing:
-      return ring_allreduce_timing(m, d, wire, net_);
+      return ring_allreduce_timing(m, d, wire, net, start_time);
     case MarParadigm::kTorus2d:
       // A degraded torus re-forms as a smaller torus while the survivors
       // still fill whole rows, else the round runs as a ring of survivors.
@@ -279,23 +282,42 @@ CollectiveTiming SyncStrategy::mar_timing(std::size_t d,
         MARSIT_VALIDATE_CALL(validate::torus_shape(config_.torus_rows,
                                                    config_.torus_cols, m));
         return torus_allreduce_timing(config_.torus_rows, config_.torus_cols,
-                                      d, wire, net_);
+                                      d, wire, net, start_time);
       }
       if (m % config_.torus_cols == 0 && m / config_.torus_cols >= 2) {
         MARSIT_VALIDATE_CALL(
             validate::torus_shape(m / config_.torus_cols, config_.torus_cols,
                                   m));
         return torus_allreduce_timing(m / config_.torus_cols,
-                                      config_.torus_cols, d, wire, net_);
+                                      config_.torus_cols, d, wire, net,
+                                      start_time);
       }
-      return ring_allreduce_timing(m, d, wire, net_);
+      return ring_allreduce_timing(m, d, wire, net, start_time);
     case MarParadigm::kParameterServer:
-      return ps_allreduce_timing(m, d, wire, net_);
+      return ps_allreduce_timing(m, d, wire, net, start_time);
     case MarParadigm::kTree:
-      return tree_allreduce_timing(m, d, wire, net_);
+      return tree_allreduce_timing(m, d, wire, net, start_time);
   }
   MARSIT_CHECK(false) << "unreachable paradigm";
   return {};
+}
+
+CollectiveTiming SyncStrategy::mar_timing(
+    std::size_t d, const WireFormat& wire,
+    std::vector<ChunkStageTiming>* chunk_stages) {
+  if (chunk_stages != nullptr) {
+    chunk_stages->clear();
+  }
+  if (!config_.pipeline_overlap) {
+    return base_collective_timing(d, wire, net_, 0.0);
+  }
+  return pipelined_collective_timing(
+      d, config_.shard_chunk_elements, wire, net_,
+      [this](std::size_t elements, const WireFormat& chunk_wire,
+             NetworkSim& net, double start_time) {
+        return base_collective_timing(elements, chunk_wire, net, start_time);
+      },
+      /*chunk_ready=*/{}, chunk_stages);
 }
 
 Rng SyncStrategy::round_rng() const {
@@ -329,7 +351,8 @@ SyncStepResult PsgdSync::do_synchronize(const WorkerSpans& inputs,
   // denominator automatically.
   aggregate_mean(active_inputs(inputs), out);
   SyncStepResult result;
-  result.timing = mar_timing(out.size(), full_precision_wire());
+  result.timing =
+      mar_timing(out.size(), full_precision_wire(), &result.chunk_stages);
   result.full_precision = true;
   result.bits_per_element = 32.0;
   return result;
@@ -385,34 +408,6 @@ SignSumWireInfo sign_sum_wire_info(const SyncConfig& config,
   return info;
 }
 
-/// Runs a (serial) sign-sum aggregation and builds the matching wire format,
-/// refreshing the Elias size cache when due.  Used by EF-signSGD, whose
-/// per-worker error-feedback loop materializes the sign vectors anyway.
-struct SignSumRound {
-  SignSum sum;
-  WireFormat wire;
-  double bits_per_element = 0.0;
-};
-
-SignSumRound run_sign_sum_round(const std::vector<BitVector>& signs,
-                                const SyncConfig& config, std::size_t round,
-                                std::vector<double>& elias_cache,
-                                std::size_t scalars_per_message) {
-  const bool refresh = elias_refresh_due(config, round, elias_cache);
-  SignSumAggregate aggregate = aggregate_sign_sum(signs, refresh);
-  if (refresh) {
-    elias_cache = aggregate.elias_bits_per_element;
-    note_elias_refresh(round);
-  }
-  SignSumRound result;
-  result.sum = std::move(aggregate.sum);
-  SignSumWireInfo info = sign_sum_wire_info(config, elias_cache,
-                                            scalars_per_message, signs.size());
-  result.wire = std::move(info.wire);
-  result.bits_per_element = info.bits_per_element;
-  return result;
-}
-
 /// Geometry + knobs of one sharded majority round (signSGD-MV, SSDM-MAR,
 /// SSDM-PS): every chunk packs all workers, accumulates the sign-sum,
 /// majority-votes and unpacks — chunk-locally, with its own rng stream.
@@ -454,33 +449,53 @@ void sharded_majority_sync(const WorkerSpans& inputs, SignSum& sum,
     signs_out->assign(m, BitVector(d));
   }
   MARSIT_VALIDATE_CALL(validate_shard_plan(plan));
-  parallel_for(*cfg.pool, plan.num_chunks(), [&](std::size_t c) {
-    const Shard shard = plan.chunk(c);
-    const std::size_t n = shard.size();
-    const std::size_t w0 = shard.word_begin();
-    const std::size_t nw = shard.num_words();
-    auto values = sum.values_mut().subspan(shard.begin, n);
-    std::fill(values.begin(), values.end(), 0);
-    Rng rng = chunk_rng(cfg.round_seed, c);
-    std::vector<std::uint64_t> scratch(nw);
-    const std::span<std::uint64_t> scratch_span{scratch.data(),
-                                                scratch.size()};
-    for (std::size_t w = 0; w < m; ++w) {
-      const std::span<std::uint64_t> words =
-          signs_out != nullptr ? (*signs_out)[w].words().subspan(w0, nw)
-                               : scratch_span;
-      if (cfg.stochastic) {
-        ssdm_pack_words(inputs[w].subspan(shard.begin, n), rng,
-                        cfg.ssdm_block, words);
-      } else {
-        kernels::pack_signs_words(inputs[w].subspan(shard.begin, n), words);
-      }
-      kernels::accumulate_counts_words(words, values);
-    }
-    kernels::majority_words(values, scratch_span);
-    kernels::unpack_signs_words(scratch_span, cfg.eta_s,
-                                out.subspan(shard.begin, n));
-  });
+  // Two-lane pipeline over the chunk grid: while chunk c's votes are being
+  // tallied, chunk c+1 is already packing — the same wavefront the timing
+  // model prices (DESIGN.md §12).  Stage scratch comes from the per-thread
+  // arena, so the steady-state hot loop performs zero heap allocations
+  // (ScratchArena::total_grows() is the counting hook the tests pin).
+  const PipelineStage stages[] = {
+      // pack: compress every worker's chunk and accumulate the sign-sum.
+      // All rng consumption lives here, in worker order, exactly as the
+      // serial loop consumed it.
+      {[&](std::size_t c, ScratchArena& arena) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const std::size_t w0 = shard.word_begin();
+        const std::size_t nw = shard.num_words();
+        auto values = sum.values_mut().subspan(shard.begin, n);
+        std::fill(values.begin(), values.end(), 0);
+        Rng rng = chunk_rng(cfg.round_seed, c);
+        const std::span<std::uint64_t> scratch_span =
+            signs_out == nullptr ? arena.words(nw)
+                                 : std::span<std::uint64_t>{};
+        for (std::size_t w = 0; w < m; ++w) {
+          const std::span<std::uint64_t> words =
+              signs_out != nullptr ? (*signs_out)[w].words().subspan(w0, nw)
+                                   : scratch_span;
+          if (cfg.stochastic) {
+            ssdm_pack_words(inputs[w].subspan(shard.begin, n), rng,
+                            cfg.ssdm_block, words);
+          } else {
+            kernels::pack_signs_words(inputs[w].subspan(shard.begin, n),
+                                      words);
+          }
+          kernels::accumulate_counts_words(words, values);
+        }
+      }},
+      // vote: majority over the tallied counts, decoded into the output.
+      {[&](std::size_t c, ScratchArena& arena) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const std::span<std::uint64_t> verdict =
+            arena.words(shard.num_words());
+        kernels::majority_words(sum.values_mut().subspan(shard.begin, n),
+                                verdict);
+        kernels::unpack_signs_words(verdict, cfg.eta_s,
+                                    out.subspan(shard.begin, n));
+      }},
+  };
+  run_chunk_pipeline(*cfg.pool, plan.num_chunks(), stages);
   sum.set_contributions(m);
 }
 
@@ -531,7 +546,7 @@ SyncStepResult SignSgdMvSync::do_synchronize(const WorkerSpans& inputs,
       sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
 
   SyncStepResult result;
-  result.timing = mar_timing(d, info.wire);
+  result.timing = mar_timing(d, info.wire, &result.chunk_stages);
   result.bits_per_element = info.bits_per_element;
   return result;
 }
@@ -573,42 +588,103 @@ SyncStepResult EfSignSgdSync::do_synchronize(const WorkerSpans& inputs,
   if (error_.empty()) {
     error_.assign(config_.num_workers, Tensor(d));
   }
-  if (scratch_p_.size() != d) {
-    scratch_p_.resize(d);
-    scratch_delta_.resize(d);
-  }
-  const std::span<float> p{scratch_p_.data(), d};
-  const std::span<float> delta{scratch_delta_.data(), d};
-
   // Only the survivors compress and contribute; an absent worker's EF
   // memory e_m is carried forward untouched and re-enters the feedback loop
   // when the worker returns.
   const std::vector<std::size_t>& active = active_workers();
-  std::vector<BitVector> signs;
-  signs.reserve(active.size());
-  double scale_sum = 0.0;
-  for (std::size_t w : active) {
-    // p = u_m + e_m; compress to (scale, signs); e_m ← p − decode.
-    add(inputs[w], error_[w].span(), p);
-    const float scale = scaled_sign_scale(p);
-    BitVector bits = pack_signs(p);
-    unpack_signs(bits, scale, delta);
-    sub(p, delta, error_[w].span());
-    scale_sum += scale;
-    signs.push_back(std::move(bits));
+  const std::size_t s = active.size();
+  if (sum_.size() != d) {
+    sum_ = SignSum(d);
   }
+  if (adjusted_.empty() || adjusted_.front().size() != d) {
+    adjusted_.assign(config_.num_workers, Tensor(d));
+  }
+  // Reallocate on either geometry change (see sharded_majority_sync).
+  if (signs_.size() != s || signs_.front().size() != d) {
+    signs_.assign(s, BitVector(d));
+  }
+  scales_.resize(s);
 
+  // Whole-vector pre-pass: the compressor scale is the *global* ‖p‖₁/d, so
+  // it cannot be computed chunk-locally.  Float order matches the previous
+  // serial loop (add, then the scale reduction, per worker in turn).
+  double scale_sum = 0.0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t w = active[i];
+    add(inputs[w], error_[w].span(), adjusted_[w].span());
+    scales_[i] = scaled_sign_scale(adjusted_[w].span());
+    scale_sum += scales_[i];
+  }
+  const float mean_scale =
+      static_cast<float>(scale_sum / static_cast<double>(s));
+
+  // Sharded two-lane pipeline (same wavefront as sharded_majority_sync):
+  // pack accumulates the sign-sum, finalize decodes the mean and runs the
+  // per-worker error-feedback update — all chunk-local, no rng anywhere, so
+  // the outputs are bit-identical to the old whole-vector loop.
+  const ShardPlan plan(d, config_.shard_chunk_elements);
+  MARSIT_VALIDATE_CALL(validate_shard_plan(plan));
+  const float inv_s = 1.0f / static_cast<float>(s);
+  ThreadPool& pool = strategy_pool(config_);
+  const PipelineStage stages[] = {
+      {[&](std::size_t c, ScratchArena& /*arena*/) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const std::size_t w0 = shard.word_begin();
+        const std::size_t nw = shard.num_words();
+        auto values = sum_.values_mut().subspan(shard.begin, n);
+        std::fill(values.begin(), values.end(), 0);
+        for (std::size_t i = 0; i < s; ++i) {
+          const std::size_t w = active[i];
+          const std::span<std::uint64_t> words =
+              signs_[i].words().subspan(w0, nw);
+          kernels::pack_signs_words(
+              adjusted_[w].span().subspan(shard.begin, n), words);
+          kernels::accumulate_counts_words(words, values);
+        }
+      }},
+      {[&](std::size_t c, ScratchArena& arena) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const std::size_t w0 = shard.word_begin();
+        const std::size_t nw = shard.num_words();
+        // Decode the mean exactly as SignSum::mean_into + scale() did:
+        // int sum → ·(1/s) first, the mean scale as a separate multiply.
+        const auto values = sum_.values_mut().subspan(shard.begin, n);
+        const auto out_chunk = out.subspan(shard.begin, n);
+        for (std::size_t el = 0; el < n; ++el) {
+          out_chunk[el] = static_cast<float>(values[el]) * inv_s;
+        }
+        scale(out_chunk, mean_scale);
+        // e_m ← p − decode(scale_m, signs_m), chunk-locally per survivor.
+        const std::span<float> delta = arena.floats(n);
+        for (std::size_t i = 0; i < s; ++i) {
+          const std::size_t w = active[i];
+          kernels::unpack_signs_words(signs_[i].words().subspan(w0, nw),
+                                      scales_[i], delta);
+          sub(adjusted_[w].span().subspan(shard.begin, n), delta,
+              error_[w].span().subspan(shard.begin, n));
+        }
+      }},
+  };
+  run_chunk_pipeline(pool, plan.num_chunks(), stages);
+  sum_.set_contributions(s);
+
+  if (elias_refresh_due(config_, round_, cached_elias_bpe_)) {
+    // Size measurement only — bit-identical to the aggregate the pipeline
+    // already produced, so the round's output does not depend on whether a
+    // refresh happened.
+    cached_elias_bpe_ = measure_elias_bits_per_element(signs_, &sum_);
+    note_elias_refresh(round_);
+  }
   // One float scale rides along per message (the running scale sum).  The
   // decoded mean renormalizes by the survivor count on degraded rounds.
-  SignSumRound round_data = run_sign_sum_round(signs, config_, round_,
-                                               cached_elias_bpe_, 1);
-  round_data.sum.mean_into(out);
-  scale(out, static_cast<float>(scale_sum /
-                                static_cast<double>(active.size())));
+  const SignSumWireInfo info =
+      sign_sum_wire_info(config_, cached_elias_bpe_, 1, s);
 
   SyncStepResult result;
-  result.timing = mar_timing(d, round_data.wire);
-  result.bits_per_element = round_data.bits_per_element;
+  result.timing = mar_timing(d, info.wire, &result.chunk_stages);
+  result.bits_per_element = info.bits_per_element;
   return result;
 }
 
@@ -658,7 +734,7 @@ SyncStepResult SsdmMarSync::do_synchronize(const WorkerSpans& inputs,
       sign_sum_wire_info(config_, cached_elias_bpe_, 0, active_workers().size());
 
   SyncStepResult result;
-  result.timing = mar_timing(d, info.wire);
+  result.timing = mar_timing(d, info.wire, &result.chunk_stages);
   result.bits_per_element = info.bits_per_element;
   return result;
 }
@@ -706,7 +782,7 @@ SyncStepResult SsdmPsSync::do_synchronize(const WorkerSpans& inputs,
       1.0 / config_.cost_model.sign_unpack_rate;
 
   SyncStepResult result;
-  result.timing = mar_timing(d, wire);
+  result.timing = mar_timing(d, wire, &result.chunk_stages);
   result.bits_per_element = 1.0;
   return result;
 }
@@ -728,7 +804,8 @@ SyncStepResult CascadingSync::do_synchronize(const WorkerSpans& inputs,
   cascading_aggregate(active_inputs(inputs), rng, out);
 
   SyncStepResult result;
-  result.timing = mar_timing(out.size(), cascading_wire(config_.cost_model));
+  result.timing = mar_timing(out.size(), cascading_wire(config_.cost_model),
+                             &result.chunk_stages);
   result.bits_per_element = 1.0;
   return result;
 }
@@ -904,7 +981,8 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
     for (const std::size_t w : active) {
       compensation_[w].zero();
     }
-    result.timing = mar_timing(d, full_precision_wire());
+    result.timing =
+        mar_timing(d, full_precision_wire(), &result.chunk_stages);
     result.full_precision = true;
     result.bits_per_element = 32.0;
     return result;
@@ -924,38 +1002,59 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
   const std::uint64_t round_seed = derive_seed(config_.seed, round_);
   const ShardPlan plan(d, config_.shard_chunk_elements);
   MARSIT_VALIDATE_CALL(validate_shard_plan(plan));
-  parallel_for(strategy_pool(config_), plan.num_chunks(),
-               [&](std::size_t c) {
-    const Shard shard = plan.chunk(c);
-    const std::size_t n = shard.size();
-    const std::size_t w0 = shard.word_begin();
-    const std::size_t nw = shard.num_words();
-    Rng rng = chunk_rng(round_seed, c);
-    const auto out_chunk = out.subspan(shard.begin, n);
-    for (std::size_t i = 0; i < s; ++i) {
-      const std::size_t w = active[i];
-      // Line 1 of Algorithm 1: fold the compensation into the update.
-      const auto adjusted_chunk = adjusted_[w].span().subspan(shard.begin, n);
-      add(inputs[w].subspan(shard.begin, n),
-          compensation_[w].span().subspan(shard.begin, n), adjusted_chunk);
-      kernels::pack_signs_words(adjusted_chunk,
-                                signs_[i].words().subspan(w0, nw));
-    }
-    // Lines 4–8: the ⊙ reduction, in place over this chunk's words.
-    fold_signs_words(signs_, s, w0, nw, rng);
-    // Line 9: g_t = eta_s · sign-vector.
-    kernels::unpack_signs_words(signs_.front().words().subspan(w0, nw),
-                                options_.eta_s, out_chunk);
-    // Line 10: c_{t+1}^{(m)} = g_t^{(m)} − g_t.
-    if (options_.use_compensation) {
-      for (const std::size_t w : active) {
-        sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
-            compensation_[w].span().subspan(shard.begin, n));
-      }
-    }
-  });
+  // Three-lane pipeline mirroring the wire's pack → transfer → fold shape:
+  // chunk c+1 packs while chunk c runs its ⊙ reduction and chunk c−1
+  // unpacks/compensates.  Sign packing consumes no rng, so creating the
+  // chunk's stream at the head of the fold stage draws exactly the values
+  // the old single-loop body drew — outputs stay bit-identical.
+  const PipelineStage stages[] = {
+      // Line 1 of Algorithm 1: fold the compensation into the update and
+      // pack the signs, per survivor.
+      {[&](std::size_t c, ScratchArena& /*arena*/) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const std::size_t w0 = shard.word_begin();
+        const std::size_t nw = shard.num_words();
+        for (std::size_t i = 0; i < s; ++i) {
+          const std::size_t w = active[i];
+          const auto adjusted_chunk =
+              adjusted_[w].span().subspan(shard.begin, n);
+          add(inputs[w].subspan(shard.begin, n),
+              compensation_[w].span().subspan(shard.begin, n),
+              adjusted_chunk);
+          kernels::pack_signs_words(adjusted_chunk,
+                                    signs_[i].words().subspan(w0, nw));
+        }
+      }},
+      // Lines 4–8: the ⊙ reduction, in place over this chunk's words, with
+      // the chunk's own rng stream.
+      {[&](std::size_t c, ScratchArena& /*arena*/) {
+        const Shard shard = plan.chunk(c);
+        Rng rng = chunk_rng(round_seed, c);
+        fold_signs_words(signs_, s, shard.word_begin(), shard.num_words(),
+                         rng);
+      }},
+      // Lines 9–10: g_t = eta_s · sign-vector; c_{t+1}^{(m)} = g_t^{(m)} − g_t.
+      {[&](std::size_t c, ScratchArena& /*arena*/) {
+        const Shard shard = plan.chunk(c);
+        const std::size_t n = shard.size();
+        const auto out_chunk = out.subspan(shard.begin, n);
+        kernels::unpack_signs_words(
+            signs_.front().words().subspan(shard.word_begin(),
+                                           shard.num_words()),
+            options_.eta_s, out_chunk);
+        if (options_.use_compensation) {
+          for (const std::size_t w : active) {
+            sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
+                compensation_[w].span().subspan(shard.begin, n));
+          }
+        }
+      }},
+  };
+  run_chunk_pipeline(strategy_pool(config_), plan.num_chunks(), stages);
 
-  result.timing = mar_timing(d, marsit_wire(config_.cost_model));
+  result.timing = mar_timing(d, marsit_wire(config_.cost_model),
+                             &result.chunk_stages);
   result.bits_per_element = 1.0;
   // The residual-magnitude gauge costs an O(M·D) norm pass, so it is
   // computed only when someone is listening.

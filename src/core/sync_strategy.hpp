@@ -64,6 +64,16 @@ struct SyncConfig {
   /// Part of the deterministic geometry: changing it changes the per-chunk
   /// RNG streams, so treat it as a tuning constant, not a runtime knob.
   std::size_t shard_chunk_elements = std::size_t{1} << 16;
+  /// Price each round as a chunked compute/comm overlap pipeline: chunk i+1
+  /// packs while chunk i is in flight and chunk i−1 folds, composing as
+  /// max-of-stages instead of sum-of-phases (DESIGN.md §12).  The timing
+  /// chunk grid is the execution grid above (shard_chunk_elements), so the
+  /// trace lanes line up with the sharded work.  Purely a timing/reporting
+  /// switch: round *outputs* are bit-identical with it on or off — the
+  /// serial phase decomposition is still reported, with the overlapped
+  /// round time alongside (CollectiveTiming::serial_completion_seconds,
+  /// PhaseTimes::overlapped).
+  bool pipeline_overlap = false;
   /// Fault injection (see net/fault_plan.hpp).  Link-level faults flow into
   /// NetworkSim (retries, jitter, outages, stragglers inflate the timing);
   /// membership faults mark workers absent for whole rounds, and every
@@ -98,6 +108,11 @@ struct SyncStepResult {
   /// Senders whose payload stayed corrupted past the retry budget and were
   /// excluded from the round through the survivor path.
   std::size_t demoted_workers = 0;
+  /// Per-chunk pack/transfer/fold lane times of a pipelined round (empty
+  /// when SyncConfig::pipeline_overlap is off or the round priced a single
+  /// chunk trivially).  One run yields both the serial bars and the
+  /// overlapped bars of a Figure-5-style plot.
+  std::vector<ChunkStageTiming> chunk_stages;
 };
 
 class SyncStrategy {
@@ -151,7 +166,23 @@ class SyncStrategy {
   /// survivor count still fills whole rows, else as a ring).  Survivors are
   /// renumbered densely onto nodes 0..S−1, so per-node fault attributes
   /// follow re-formed fabric positions, not physical hosts.
-  CollectiveTiming mar_timing(std::size_t d, const WireFormat& wire);
+  ///
+  /// With SyncConfig::pipeline_overlap the round is priced through
+  /// pipelined_collective_timing over the shard_chunk_elements grid; the
+  /// per-chunk lane times land in `chunk_stages` when non-null (strategies
+  /// pass &result.chunk_stages).  Without the flag the collective is priced
+  /// in one piece, exactly as before.
+  CollectiveTiming mar_timing(
+      std::size_t d, const WireFormat& wire,
+      std::vector<ChunkStageTiming>* chunk_stages = nullptr);
+
+  /// One unpipelined collective of the configured paradigm (including the
+  /// degraded-membership re-forms) for a d-element payload ready at
+  /// `start_time`, priced on `net` — both mar_timing paths bottom out here,
+  /// the pipelined one once per chunk.
+  CollectiveTiming base_collective_timing(std::size_t d,
+                                          const WireFormat& wire,
+                                          NetworkSim& net, double start_time);
 
   /// Original indices of the workers present this round, ascending.  Always
   /// the full fleet when the fault plan has no membership faults; never
@@ -238,8 +269,13 @@ class EfSignSgdSync final : public SyncStrategy {
 
   std::vector<Tensor> error_;  // per-worker EF memory, lazily sized
   std::vector<double> cached_elias_bpe_;
-  std::vector<float> scratch_p_;      // u_m + e_m round scratch, hoisted
-  std::vector<float> scratch_delta_;  // decode scratch, hoisted
+  // Round scratch (never serialized): the sharded pipeline materializes
+  // every survivor's adjusted vector u_m + e_m and packed signs so the
+  // per-chunk finalize stage can run the error-feedback update chunk-locally.
+  std::vector<Tensor> adjusted_;   // u_m + e_m, indexed by worker id
+  std::vector<float> scales_;      // per-survivor ‖p‖₁/d compressor scales
+  SignSum sum_;                    // round-to-round sign-sum scratch
+  std::vector<BitVector> signs_;   // per-survivor packed signs
 };
 
 /// SSDM [14] extended to MAR: stochastic signs (P(+1) = 1/2 + g_i/(2‖g‖))

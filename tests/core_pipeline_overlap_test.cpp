@@ -1,0 +1,343 @@
+// Tests for the chunked compute/comm overlap pipeline (DESIGN.md §12):
+// the wavefront scheduler, the per-thread scratch arenas, and the
+// max-of-stages timing composition.  The load-bearing contract: the
+// pipeline_overlap switch changes *when* work happens and what timing is
+// reported, never the ⊙/majority arithmetic or the rng stream — every
+// strategy's outputs must be bit-identical with it on or off, for any pool
+// size and chunk geometry.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "core/sync_strategy.hpp"
+#include "net/fault_plan.hpp"
+#include "obs/trace.hpp"
+#include "parallel/pipeline.hpp"
+#include "parallel/shard.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace marsit {
+namespace {
+
+constexpr std::size_t kDim = 5000;
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kRounds = 3;
+
+std::vector<std::vector<float>> make_inputs(std::size_t round) {
+  std::vector<std::vector<float>> inputs(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    inputs[w].resize(kDim);
+    Rng rng(derive_seed(1000 + round, w));
+    fill_normal({inputs[w].data(), kDim}, rng, 0.0f, 1.0f);
+  }
+  return inputs;
+}
+
+/// The five strategies whose rounds run through the sharded/pipelined sync
+/// paths, each on its home paradigm.
+struct StrategyCase {
+  SyncMethod method;
+  MarParadigm paradigm;
+  const char* label;
+};
+
+const StrategyCase kCases[] = {
+    {SyncMethod::kMarsit, MarParadigm::kRing, "Marsit-RAR"},
+    {SyncMethod::kSignSgdMv, MarParadigm::kRing, "signSGD-MV"},
+    {SyncMethod::kEfSignSgd, MarParadigm::kRing, "EF-signSGD"},
+    {SyncMethod::kSsdm, MarParadigm::kRing, "SSDM-RAR"},
+    {SyncMethod::kSsdmPs, MarParadigm::kParameterServer, "SSDM-PS"},
+};
+
+SyncConfig make_config(const StrategyCase& c, ThreadPool* pool,
+                       std::size_t chunk, bool overlap) {
+  SyncConfig config;
+  config.num_workers = kWorkers;
+  config.paradigm = c.paradigm;
+  config.seed = 77;
+  config.pool = pool;
+  config.shard_chunk_elements = chunk;
+  config.pipeline_overlap = overlap;
+  return config;
+}
+
+struct RunOutput {
+  std::vector<float> outputs;         // kRounds × kDim, concatenated
+  std::vector<SyncStepResult> steps;  // one per round
+};
+
+RunOutput run_rounds(const StrategyCase& c, ThreadPool* pool,
+                     std::size_t chunk, bool overlap,
+                     const FaultPlan& plan = {}) {
+  SyncConfig config = make_config(c, pool, chunk, overlap);
+  config.fault_plan = plan;
+  auto strategy = make_sync_strategy(c.method, config);
+  RunOutput run;
+  std::vector<float> out(kDim);
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    const auto inputs = make_inputs(t);
+    WorkerSpans spans;
+    for (const auto& in : inputs) {
+      spans.emplace_back(in.data(), in.size());
+    }
+    run.steps.push_back(strategy->synchronize(spans, {out.data(), out.size()}));
+    run.outputs.insert(run.outputs.end(), out.begin(), out.end());
+  }
+  return run;
+}
+
+void expect_bit_identical(const std::vector<float>& a,
+                          const std::vector<float>& b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << label << ": pipelined outputs diverge from the serial digest";
+}
+
+// --- scheduler ----------------------------------------------------------------
+
+TEST(ChunkPipelineTest, SchedulerHonorsWavefrontDependencies) {
+  // Task (s, c) must run after (s−1, c) and (s, c−1).  Record a global
+  // completion sequence and check both edges for every task.
+  constexpr std::size_t kStages = 3;
+  constexpr std::size_t kChunks = 7;
+  std::mutex mu;
+  std::vector<std::size_t> order(kStages * kChunks, 0);
+  std::size_t next = 1;
+  auto record = [&](std::size_t s, std::size_t c) {
+    const std::lock_guard<std::mutex> lock(mu);
+    order[s * kChunks + c] = next++;
+  };
+  ThreadPool pool(4);
+  const PipelineStage stages[] = {
+      {[&](std::size_t c, ScratchArena&) { record(0, c); }},
+      {[&](std::size_t c, ScratchArena&) { record(1, c); }},
+      {[&](std::size_t c, ScratchArena&) { record(2, c); }},
+  };
+  run_chunk_pipeline(pool, kChunks, stages);
+  for (std::size_t s = 0; s < kStages; ++s) {
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      ASSERT_GT(order[s * kChunks + c], 0u) << "task never ran";
+      if (s > 0) {
+        EXPECT_GT(order[s * kChunks + c], order[(s - 1) * kChunks + c])
+            << "stage " << s << " chunk " << c << " ran before its input";
+      }
+      if (c > 0) {
+        EXPECT_GT(order[s * kChunks + c], order[s * kChunks + c - 1])
+            << "stage " << s << " chunk " << c << " overtook its lane";
+      }
+    }
+  }
+}
+
+TEST(ChunkPipelineTest, ScratchArenaReusesBlocksAfterWarmup) {
+  ScratchArena& arena = this_thread_arena();
+  arena.reset();
+  const std::span<std::uint64_t> w1 = arena.words(37);
+  const std::span<float> f1 = arena.floats(129);
+  // Distinct requests in one stage get distinct blocks.
+  const std::span<std::uint64_t> w2 = arena.words(37);
+  EXPECT_NE(w1.data(), w2.data());
+  EXPECT_EQ(w1.size(), 37u);
+  EXPECT_EQ(f1.size(), 129u);
+  // After reset, the same request sequence reuses the warm blocks: the grow
+  // counter (the zero-allocation hook the sync tests pin) stays flat.
+  const std::uint64_t grows = ScratchArena::total_grows();
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    arena.reset();
+    (void)arena.words(37);
+    (void)arena.floats(129);
+    (void)arena.words(30);  // smaller fits the warm 37-word block
+  }
+  EXPECT_EQ(ScratchArena::total_grows(), grows)
+      << "arena grew on a repeated request sequence";
+  arena.reset();
+}
+
+// --- digest invariance --------------------------------------------------------
+
+TEST(ChunkPipelineTest, PipelinedDigestMatchesSerial) {
+  // chunk grids: many ragged chunks, a handful, and one covering the payload.
+  const std::size_t chunks[] = {std::size_t{1} << 12, std::size_t{1} << 16,
+                                kDim};
+  ThreadPool pool1(1), pool4(4), pool_hw(0);
+  for (const StrategyCase& c : kCases) {
+    for (const std::size_t chunk : chunks) {
+      const RunOutput ref = run_rounds(c, &pool1, chunk, /*overlap=*/false);
+      for (ThreadPool* pool : {&pool1, &pool4, &pool_hw}) {
+        const RunOutput piped = run_rounds(c, pool, chunk, /*overlap=*/true);
+        expect_bit_identical(piped.outputs, ref.outputs, c.label);
+      }
+    }
+  }
+}
+
+// --- timing invariants --------------------------------------------------------
+
+TEST(ChunkPipelineTest, OverlappedNeverExceedsSerial) {
+  ThreadPool pool(2);
+  for (const StrategyCase& c : kCases) {
+    // 256-element chunks → 20 chunks at kDim: a real wavefront.
+    const RunOutput run = run_rounds(c, &pool, 256, /*overlap=*/true);
+    for (const SyncStepResult& step : run.steps) {
+      ASSERT_GT(step.timing.pipeline_chunks, 1u) << c.label;
+      ASSERT_EQ(step.chunk_stages.size(), step.timing.pipeline_chunks)
+          << c.label;
+      EXPECT_LE(step.timing.completion_seconds,
+                step.timing.serial_completion_seconds *
+                    (1.0 + 1e-9))
+          << c.label << ": overlap made the round slower than serial";
+      // Lane structure: pack and fold lanes are serialized chains, a
+      // chunk's transfer starts when its pack ends, its fold after both
+      // the transfer and the previous fold.
+      for (std::size_t i = 0; i < step.chunk_stages.size(); ++i) {
+        const ChunkStageTiming& stage = step.chunk_stages[i];
+        EXPECT_LE(stage.pack_start, stage.pack_end);
+        EXPECT_EQ(stage.transfer_start, stage.pack_end);
+        EXPECT_LE(stage.transfer_start, stage.transfer_end);
+        EXPECT_LE(stage.transfer_end, stage.fold_start);
+        EXPECT_LE(stage.fold_start, stage.fold_end);
+        if (i > 0) {
+          EXPECT_GE(stage.pack_start, step.chunk_stages[i - 1].pack_end);
+          EXPECT_GE(stage.fold_start, step.chunk_stages[i - 1].fold_end);
+        }
+      }
+      EXPECT_DOUBLE_EQ(step.chunk_stages.back().fold_end,
+                       step.timing.completion_seconds);
+    }
+    // Single chunk: nothing overlaps, the two figures coincide (the serial
+    // reference is shift-invariant on a fresh fault-free fabric).
+    const RunOutput single = run_rounds(c, &pool, kDim, /*overlap=*/true);
+    for (const SyncStepResult& step : single.steps) {
+      ASSERT_EQ(step.timing.pipeline_chunks, 1u) << c.label;
+      EXPECT_NEAR(step.timing.completion_seconds,
+                  step.timing.serial_completion_seconds,
+                  step.timing.serial_completion_seconds * 1e-9)
+          << c.label;
+    }
+  }
+}
+
+TEST(ChunkPipelineTest, UnpipelinedRoundsReportNoOverlap) {
+  ThreadPool pool(2);
+  const RunOutput run = run_rounds(kCases[0], &pool, 256, /*overlap=*/false);
+  for (const SyncStepResult& step : run.steps) {
+    EXPECT_EQ(step.timing.pipeline_chunks, 0u);
+    EXPECT_EQ(step.timing.serial_completion_seconds, 0.0);
+    EXPECT_TRUE(step.chunk_stages.empty());
+  }
+}
+
+// --- fault containment --------------------------------------------------------
+
+TEST(ChunkPipelineTest, RetryStallsOnlyDownstreamOfItsChunk) {
+  // Link loss delays chunk messages (retries on the shared fabric) but must
+  // not move the pack lane — packing is local work, upstream of the wire —
+  // and must not change any output bit.
+  ThreadPool pool(2);
+  FaultPlan plan;
+  plan.packet_loss = 0.3;
+  plan.seed = 9;
+  const StrategyCase& c = kCases[0];  // Marsit ring
+  const RunOutput clean = run_rounds(c, &pool, 256, /*overlap=*/true);
+  const RunOutput faulty = run_rounds(c, &pool, 256, /*overlap=*/true, plan);
+  expect_bit_identical(faulty.outputs, clean.outputs, "faulty pipelined run");
+  std::size_t retransmissions = 0;
+  bool transfer_moved = false;
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    const SyncStepResult& a = clean.steps[t];
+    const SyncStepResult& b = faulty.steps[t];
+    retransmissions += b.timing.retransmissions;
+    ASSERT_EQ(a.chunk_stages.size(), b.chunk_stages.size());
+    for (std::size_t i = 0; i < a.chunk_stages.size(); ++i) {
+      EXPECT_DOUBLE_EQ(b.chunk_stages[i].pack_start,
+                       a.chunk_stages[i].pack_start)
+          << "round " << t << " chunk " << i;
+      EXPECT_DOUBLE_EQ(b.chunk_stages[i].pack_end,
+                       a.chunk_stages[i].pack_end)
+          << "round " << t << " chunk " << i;
+      if (b.chunk_stages[i].transfer_end != a.chunk_stages[i].transfer_end) {
+        transfer_moved = true;
+      }
+    }
+    EXPECT_GE(b.timing.completion_seconds, a.timing.completion_seconds);
+  }
+  EXPECT_GT(retransmissions, 0u) << "fault plan injected no retries";
+  EXPECT_TRUE(transfer_moved) << "retries never stalled a transfer slot";
+}
+
+// --- allocation discipline ----------------------------------------------------
+
+TEST(ChunkPipelineTest, HotLoopIsAllocationFreeAfterWarmup) {
+  // Single-thread pool: the inline fast path funnels every stage through one
+  // arena, so the steady state is deterministic — after one warm round the
+  // grow counter must stay exactly flat.
+  ThreadPool pool(1);
+  for (const StrategyCase& c : kCases) {
+    SyncConfig config = make_config(c, &pool, 256, /*overlap=*/false);
+    auto strategy = make_sync_strategy(c.method, config);
+    std::vector<float> out(kDim);
+    const auto inputs = make_inputs(0);
+    WorkerSpans spans;
+    for (const auto& in : inputs) {
+      spans.emplace_back(in.data(), in.size());
+    }
+    strategy->synchronize(spans, {out.data(), out.size()});  // warmup
+    const std::uint64_t grows = ScratchArena::total_grows();
+    for (std::size_t t = 1; t < 4; ++t) {
+      strategy->synchronize(spans, {out.data(), out.size()});
+    }
+    EXPECT_EQ(ScratchArena::total_grows(), grows)
+        << c.label << ": sync hot loop allocated arena blocks per round";
+  }
+}
+
+TEST(ChunkPipelineTest, MultiThreadArenaGrowthIsBoundedNotPerRound) {
+  // With a real pool the stage→thread assignment is nondeterministic, so
+  // per-thread warm sets can still fill in lazily — but growth must be a
+  // small constant (bounded by threads × block kinds), never proportional
+  // to rounds × chunks the way the old per-chunk vector was.
+  ThreadPool pool(4);
+  SyncConfig config = make_config(kCases[1], &pool, 256, /*overlap=*/false);
+  auto strategy = make_sync_strategy(kCases[1].method, config);
+  std::vector<float> out(kDim);
+  const auto inputs = make_inputs(0);
+  WorkerSpans spans;
+  for (const auto& in : inputs) {
+    spans.emplace_back(in.data(), in.size());
+  }
+  for (std::size_t t = 0; t < 3; ++t) {  // warmup
+    strategy->synchronize(spans, {out.data(), out.size()});
+  }
+  const std::uint64_t grows = ScratchArena::total_grows();
+  constexpr std::size_t kMoreRounds = 10;
+  for (std::size_t t = 0; t < kMoreRounds; ++t) {
+    strategy->synchronize(spans, {out.data(), out.size()});
+  }
+  // 10 rounds × 20 chunks would be ≥ 200 grows with per-chunk allocation.
+  EXPECT_LE(ScratchArena::total_grows() - grows, 8u)
+      << "arena growth scales with rounds — per-chunk allocation is back";
+}
+
+// --- trace lanes --------------------------------------------------------------
+
+TEST(ChunkPipelineTest, StageSpansLandOnThreeLanes) {
+  ThreadPool pool(2);
+  obs::TraceSession session;
+  obs::TraceSession::install(&session);
+  const RunOutput run = run_rounds(kCases[0], &pool, 256, /*overlap=*/true);
+  obs::TraceSession::install(nullptr);
+  const std::size_t chunks = run.steps.front().timing.pipeline_chunks;
+  ASSERT_GT(chunks, 1u);
+  // Three lane spans per chunk per round; the serial-reference measurement
+  // runs trace-suppressed, so per-chunk collectives emit exactly one set of
+  // "phase" spans (2 per ring sub-collective) with no phantom duplicates.
+  EXPECT_EQ(session.span_count("stage"), 3 * chunks * kRounds);
+  EXPECT_EQ(session.span_count("phase"), 2 * chunks * kRounds);
+}
+
+}  // namespace
+}  // namespace marsit

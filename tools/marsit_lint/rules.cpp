@@ -222,7 +222,8 @@ bool starts_cast_operand(const Token& token) {
 
 void check_kernel_safety(const FileContext& file, const Rule& rule,
                          std::vector<Finding>& out) {
-  if (!file.under("src/compress") && !file.under("src/core")) {
+  if (!file.under("src/compress") && !file.under("src/core") &&
+      !file.under("src/parallel")) {
     return;
   }
   const auto& tokens = file.lex.tokens;
@@ -313,6 +314,9 @@ iwyu_symbol_headers() {
           {"atomic", {"atomic"}},
           {"mutex", {"mutex"}},
           {"lock_guard", {"mutex"}},
+          {"unique_lock", {"mutex"}},
+          {"condition_variable", {"condition_variable"}},
+          {"deque", {"deque"}},
           {"thread", {"thread"}},
           {"ostringstream", {"sstream"}},
           {"istringstream", {"sstream"}},

@@ -112,8 +112,9 @@ SweepRow price_round(std::size_t d, std::size_t chunk_elements,
   NetworkSim net(workers, model);
   const CollectiveTiming timing = pipelined_collective_timing(
       d, chunk_elements, marsit_wire(model), net,
-      [workers](std::size_t elements, const WireFormat& wire,
-                NetworkSim& chunk_net, double start_time) {
+      [workers](std::size_t /*chunk_index*/, std::size_t elements,
+                const WireFormat& wire, NetworkSim& chunk_net,
+                double start_time) {
         return ring_allreduce_timing(workers, elements, wire, chunk_net,
                                      start_time);
       },

@@ -116,10 +116,14 @@ Checkpoint load_checkpoint(const std::string& path) {
 std::string expand_checkpoint_path(const std::string& path_template,
                                    std::uint64_t round) {
   const std::string placeholder = "{round}";
+  const std::string value = std::to_string(round);
   std::string path = path_template;
-  const std::size_t at = path.find(placeholder);
-  if (at != std::string::npos) {
-    path.replace(at, placeholder.size(), std::to_string(round));
+  // Every occurrence expands — a template like "{round}/ckpt-{round}.bin"
+  // must not leave a literal "{round}" directory component behind.
+  std::size_t at = path.find(placeholder);
+  while (at != std::string::npos) {
+    path.replace(at, placeholder.size(), value);
+    at = path.find(placeholder, at + value.size());
   }
   return path;
 }

@@ -72,9 +72,10 @@ void save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
 /// parses a checkpoint.  Throws CheckError on any violation.
 Checkpoint load_checkpoint(const std::string& path);
 
-/// Expands "{round}" in a checkpoint path template to the round number, so
-/// a cadenced writer can either overwrite one file (no placeholder) or keep
-/// a per-round history.
+/// Expands every "{round}" in a checkpoint path template to the round
+/// number, so a cadenced writer can either overwrite one file (no
+/// placeholder) or keep a per-round history (including round-numbered
+/// directories like "{round}/ckpt-{round}.bin").
 std::string expand_checkpoint_path(const std::string& path_template,
                                    std::uint64_t round);
 

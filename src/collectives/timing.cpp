@@ -4,9 +4,11 @@
 #include <bit>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "compress/sign_sum.hpp"
+#include "net/crc32.hpp"
 #include "obs/trace.hpp"
 #include "parallel/shard.hpp"
 #include "util/check.hpp"
@@ -45,16 +47,29 @@ double rate_to_seconds(double rate) {
 /// the delta at exit is what this collective burned on lost attempts.
 struct RetransBaseline {
   explicit RetransBaseline(const NetworkSim& net)
-      : bytes(net.retransmitted_bytes()), count(net.retransmissions()) {}
+      : bytes(net.retransmitted_bytes()),
+        count(net.retransmissions()),
+        messages(net.total_messages()) {}
 
   void record_into(CollectiveTiming& timing, const NetworkSim& net) const {
     timing.retransmitted_wire_bits =
         (net.retransmitted_bytes() - bytes) * 8.0;
     timing.retransmissions = net.retransmissions() - count;
+    // Wire integrity under corruption faults appends a CRC32 footer to every
+    // delivered message (network_sim.cpp charges it per attempt).  The
+    // schedule loops above sum payload bits only, so the footer of each
+    // *successful* delivery is charged here, exactly once per message;
+    // retried attempts' footers already live in retransmitted_wire_bits.
+    const FaultPlan* plan = net.fault_plan();
+    if (plan != nullptr && plan->corruption_rate > 0.0) {
+      timing.total_wire_bits += kCrcFooterBits *
+          static_cast<double>(net.total_messages() - messages);
+    }
   }
 
   double bytes;
   std::size_t count;
+  std::size_t messages;
 };
 
 }  // namespace
@@ -535,20 +550,33 @@ CollectiveTiming pipelined_collective_timing(
   wire_chunk.initial_pack_seconds_per_element = 0.0;
   wire_chunk.final_unpack_seconds_per_element = 0.0;
 
-  // Serial reference: the same chunk on a fresh, fault-free fabric, cached
-  // per distinct chunk length (at most two: body and tail).
+  // Serial reference: the same chunk on a fresh, fault-free fabric.  Cached
+  // per chunk *geometry*, not per element count alone — a ChunkCollectiveFn
+  // may dispatch different topologies/schedules by chunk index, and two
+  // same-size chunks on different schedules must not share a serial time.
+  // The key is the geometry fingerprint observed on the live run: element
+  // count, hop (message) count, and wire bits, which together pin topology,
+  // schedule shape, and payload width without callers having to declare
+  // them.  For uniform plans this still collapses to at most two entries
+  // (body and tail).
   NetworkSim scratch(net.num_nodes(), net.cost_model());
-  std::map<std::size_t, double> serial_cache;
-  const auto serial_transfer_seconds = [&](std::size_t elements) {
-    const auto found = serial_cache.find(elements);
+  using SerialKey = std::tuple<std::size_t, std::size_t, double>;
+  std::map<SerialKey, double> serial_cache;
+  const auto serial_transfer_seconds = [&](std::size_t chunk_index,
+                                           std::size_t elements,
+                                           std::size_t live_messages,
+                                           double live_wire_bits) {
+    const SerialKey key{elements, live_messages, live_wire_bits};
+    const auto found = serial_cache.find(key);
     if (found != serial_cache.end()) {
       return found->second;
     }
     const TraceSuppressScope quiet;
     scratch.reset();
     const double seconds =
-        collective(elements, wire_chunk, scratch, 0.0).completion_seconds;
-    serial_cache.emplace(elements, seconds);
+        collective(chunk_index, elements, wire_chunk, scratch, 0.0)
+            .completion_seconds;
+    serial_cache.emplace(key, seconds);
     return seconds;
   };
 
@@ -578,8 +606,10 @@ CollectiveTiming pipelined_collective_timing(
     // The shared simulator serializes this chunk behind whatever NIC time
     // earlier chunks still hold, and applies the attached fault plan per
     // chunk-message — a lost chunk-message's retry stalls only this slot.
+    const std::size_t messages_before = net.total_messages();
     const CollectiveTiming t =
-        collective(shard.size(), wire_chunk, net, stage.pack_end);
+        collective(c, shard.size(), wire_chunk, net, stage.pack_end);
+    const std::size_t chunk_messages = net.total_messages() - messages_before;
     stage.transfer_start = stage.pack_end;
     stage.transfer_end = stage.pack_end + t.completion_seconds;
 
@@ -587,8 +617,10 @@ CollectiveTiming pipelined_collective_timing(
     stage.fold_end = stage.fold_start + unpack_spe * n;
     fold_cursor = stage.fold_end;
 
-    serial_total +=
-        pack_spe * n + serial_transfer_seconds(shard.size()) + unpack_spe * n;
+    serial_total += pack_spe * n +
+                    serial_transfer_seconds(c, shard.size(), chunk_messages,
+                                            t.total_wire_bits) +
+                    unpack_spe * n;
 
     total.total_wire_bits += t.total_wire_bits;
     total.bits_per_worker += t.bits_per_worker;

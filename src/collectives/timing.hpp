@@ -196,10 +196,12 @@ CollectiveTiming tree_allreduce_timing(std::size_t num_workers, std::size_t d,
 /// elements on `net`, with every worker's (already packed) payload ready at
 /// `start_time`.  The pipelined composition invokes it with a wire format
 /// whose initial-pack and final-unpack rates are zeroed — those phases live
-/// in the pack and fold lanes.
+/// in the pack and fold lanes.  `chunk_index` is the chunk's position in the
+/// ShardPlan grid so mixed-geometry chunk plans (e.g. a different topology
+/// or schedule per chunk) are expressible; uniform callers ignore it.
 using ChunkCollectiveFn = std::function<CollectiveTiming(
-    std::size_t elements, const WireFormat& wire, NetworkSim& net,
-    double start_time)>;
+    std::size_t chunk_index, std::size_t elements, const WireFormat& wire,
+    NetworkSim& net, double start_time)>;
 
 /// Prices a d-element collective as a chunked three-lane pipeline
 /// (DESIGN.md §12).  The chunk grid is ShardPlan(d, chunk_elements) — the
@@ -215,11 +217,14 @@ using ChunkCollectiveFn = std::function<CollectiveTiming(
 ///             fold_end(c) = max(transfer_end(c), fold_end(c−1)) + unpack·n_c
 ///
 /// completion_seconds is fold_end(last) — the max-of-stages round time.
-/// serial_completion_seconds is Σ_c (pack·n_c + T_serial(n_c) + unpack·n_c)
+/// serial_completion_seconds is Σ_c (pack·n_c + T_serial(c) + unpack·n_c)
 /// with T_serial measured fault-free on a scratch simulator: the strictly
 /// sequential sum-of-stages reference over the same chunks (readiness gaps
 /// from `chunk_ready` are excluded — callers modelling compute add it to
-/// the serial figure themselves).
+/// the serial figure themselves).  The serial reference is cached per chunk
+/// *geometry* — element count plus the live run's observed hop count and
+/// wire bits — so two same-size chunks scheduled over different topologies
+/// each get their own measurement.
 ///
 /// `chunk_ready` (optional, else all 0) gives per-chunk payload readiness —
 /// e.g. per-bucket gradient availability — letting pack overlap compute.

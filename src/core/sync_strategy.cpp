@@ -313,8 +313,9 @@ CollectiveTiming SyncStrategy::mar_timing(
   }
   return pipelined_collective_timing(
       d, config_.shard_chunk_elements, wire, net_,
-      [this](std::size_t elements, const WireFormat& chunk_wire,
-             NetworkSim& net, double start_time) {
+      [this](std::size_t /*chunk_index*/, std::size_t elements,
+             const WireFormat& chunk_wire, NetworkSim& net,
+             double start_time) {
         return base_collective_timing(elements, chunk_wire, net, start_time);
       },
       /*chunk_ready=*/{}, chunk_stages);
@@ -360,16 +361,12 @@ SyncStepResult PsgdSync::do_synchronize(const WorkerSpans& inputs,
 
 // --- shared sign-sum plumbing ----------------------------------------------
 
-namespace {
-
-/// Per-chunk rng stream of a sharded round.  Chunk 0 continues the round
-/// stream itself — a payload that fits in one chunk therefore consumes rng
-/// exactly like the original serial implementation (bit-identical outputs) —
-/// and later chunks split off independent derived streams.
-Rng chunk_rng(std::uint64_t round_seed, std::size_t chunk_index) {
+Rng marsit_chunk_rng(std::uint64_t round_seed, std::size_t chunk_index) {
   return Rng(chunk_index == 0 ? round_seed
                               : derive_seed(round_seed, chunk_index));
 }
+
+namespace {
 
 bool elias_refresh_due(const SyncConfig& config, std::size_t round,
                        const std::vector<double>& elias_cache) {
@@ -465,7 +462,7 @@ void sharded_majority_sync(const WorkerSpans& inputs, SignSum& sum,
         const std::size_t nw = shard.num_words();
         auto values = sum.values_mut().subspan(shard.begin, n);
         std::fill(values.begin(), values.end(), 0);
-        Rng rng = chunk_rng(cfg.round_seed, c);
+        Rng rng = marsit_chunk_rng(cfg.round_seed, c);
         const std::span<std::uint64_t> scratch_span =
             signs_out == nullptr ? arena.words(nw)
                                  : std::span<std::uint64_t>{};
@@ -887,13 +884,14 @@ void MarsitSync::mean_compensation_into(std::span<float> out) const {
   scale(out, 1.0f / static_cast<float>(compensation_.size()));
 }
 
-void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
-                                  std::size_t count, std::size_t word_begin,
-                                  std::size_t num_words, Rng& rng) const {
+void marsit_fold_signs_words(MarParadigm paradigm, std::size_t torus_cols,
+                             std::vector<BitVector>& signs, std::size_t count,
+                             std::size_t word_begin, std::size_t num_words,
+                             Rng& rng) {
   const auto words_of = [&](std::size_t i) {
     return signs[i].words().subspan(word_begin, num_words);
   };
-  if (config_.paradigm == MarParadigm::kTree) {
+  if (paradigm == MarParadigm::kTree) {
     // Binomial-tree reduction: level-l merges combine aggregates of equal
     // weight 2^l (plus a possibly lighter tail aggregate).  The structure
     // is defined for any count, so a degraded tree just shrinks.
@@ -907,7 +905,7 @@ void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
     }
     return;
   }
-  if (config_.paradigm == MarParadigm::kTorus2d) {
+  if (paradigm == MarParadigm::kTorus2d) {
     // Row folds (weights 1..len within each row), then weighted column
     // merges of whole-row aggregates — the torus reduction structure.  The
     // row aggregate accumulates in the row's first vector; rows merge into
@@ -916,7 +914,7 @@ void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
     // with the last row possibly short — the weighted ⊙ stays unbiased for
     // any merge shape.  With full membership this is exactly the original
     // rows×cols schedule.
-    const std::size_t cols = config_.torus_cols;
+    const std::size_t cols = torus_cols;
     std::size_t merged_weight = 0;
     for (std::size_t base = 0; base < count; base += cols) {
       const std::size_t len = std::min(cols, count - base);
@@ -937,6 +935,13 @@ void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
   for (std::size_t m = 1; m < count; ++m) {
     one_bit_combine_words(words_of(0), m, words_of(m), 1, rng);
   }
+}
+
+void MarsitSync::fold_signs_words(std::vector<BitVector>& signs,
+                                  std::size_t count, std::size_t word_begin,
+                                  std::size_t num_words, Rng& rng) const {
+  marsit_fold_signs_words(config_.paradigm, config_.torus_cols, signs, count,
+                          word_begin, num_words, rng);
 }
 
 SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
@@ -1030,7 +1035,7 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
       // the chunk's own rng stream.
       {[&](std::size_t c, ScratchArena& /*arena*/) {
         const Shard shard = plan.chunk(c);
-        Rng rng = chunk_rng(round_seed, c);
+        Rng rng = marsit_chunk_rng(round_seed, c);
         fold_signs_words(signs_, s, shard.word_begin(), shard.num_words(),
                          rng);
       }},

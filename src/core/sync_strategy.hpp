@@ -327,6 +327,27 @@ class CascadingSync final : public SyncStrategy {
                                 std::span<float> out) override;
 };
 
+/// Per-chunk rng stream of a sharded Marsit round.  Chunk 0 continues the
+/// round stream itself — a payload that fits in one chunk therefore consumes
+/// rng exactly like the original serial implementation (bit-identical
+/// outputs) — and later chunks split off independent derived streams.
+/// Shared by MarsitSync and the distributed worker (src/dist), which must
+/// replay the identical stream to stay digest-equal with the simulator.
+Rng marsit_chunk_rng(std::uint64_t round_seed, std::size_t chunk_index);
+
+/// Folds the word range [word_begin, word_begin + num_words) of the first
+/// `count` sign vectors with the weighted ⊙ operator, following `paradigm`'s
+/// reduction structure (sequential chain on the ring; row folds then
+/// weighted column merges on the torus, shaped by `torus_cols`; binomial
+/// level merges on the tree).  Mutates `signs` in place — they are per-round
+/// scratch — and leaves the aggregate in signs.front().  This is the exact
+/// reduction MarsitSync runs; the distributed worker calls it with the same
+/// rng stream so both backends produce bit-identical aggregates.
+void marsit_fold_signs_words(MarParadigm paradigm, std::size_t torus_cols,
+                             std::vector<BitVector>& signs, std::size_t count,
+                             std::size_t word_begin, std::size_t num_words,
+                             Rng& rng);
+
 /// Marsit (paper Algorithm 1): one-bit ⊙ aggregation with global
 /// compensation, full-precision synchronization every K rounds.
 struct MarsitOptions {
@@ -375,17 +396,13 @@ class MarsitSync final : public SyncStrategy {
                                 std::span<float> out) override;
   void on_flush_rejoin(std::size_t worker) override;
 
-  /// Folds the word range [word_begin, word_begin + num_words) of the first
-  /// `count` sign vectors with ⊙, following the configured topology's
-  /// reduction structure (sequential chain on the ring; row folds then
-  /// weighted column merges on the torus; level merges on the tree).  On
-  /// degraded rounds `count` is the survivor count and the fold re-forms
-  /// over them — the torus becomes ragged rows of torus_cols survivors whose
-  /// row aggregates merge with their true accumulated weights, which the
-  /// weighted ⊙ operator keeps unbiased for any shape.  Mutates `signs` in
-  /// place — they are per-round scratch — and leaves the aggregate in
-  /// signs.front().  The sharded pipeline calls this once per chunk with
-  /// that chunk's own rng stream.
+  /// Delegates to marsit_fold_signs_words with this strategy's configured
+  /// paradigm and torus shape.  On degraded rounds `count` is the survivor
+  /// count and the fold re-forms over them — the torus becomes ragged rows
+  /// of torus_cols survivors whose row aggregates merge with their true
+  /// accumulated weights, which the weighted ⊙ operator keeps unbiased for
+  /// any shape.  The sharded pipeline calls this once per chunk with that
+  /// chunk's own rng stream.
   void fold_signs_words(std::vector<BitVector>& signs, std::size_t count,
                         std::size_t word_begin, std::size_t num_words,
                         Rng& rng) const;

@@ -1,0 +1,317 @@
+#include "dist/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+
+#include "ckpt/snapshot.hpp"
+#include "compress/bit_vector.hpp"
+#include "compress/kernels.hpp"
+#include "net/network_sim.hpp"
+#include "nn/loss.hpp"
+#include "parallel/shard.hpp"
+#include "sim/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace marsit::dist {
+
+namespace {
+
+// marsit-lint: allow(determinism): measured wall-clock next to the α–β
+// prediction is this backend's deliverable (ISSUE: real-socket timing)
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+std::vector<std::uint8_t> bytes_of(const void* data, std::size_t size) {
+  std::vector<std::uint8_t> bytes(size);
+  std::memcpy(bytes.data(), data, size);
+  return bytes;
+}
+
+/// Ring all-gather over `members` (global ranks in ring order): on entry
+/// only blobs[my_pos] is filled; on exit every position holds that member's
+/// payload.  L−1 steps, each rotating the newest blob one hop rightward.
+void ring_all_gather(Transport& transport,
+                     const std::vector<std::size_t>& members,
+                     std::uint32_t tag,
+                     std::vector<std::vector<std::uint8_t>>& blobs,
+                     double& sent_bytes) {
+  const std::size_t L = members.size();
+  const auto self = std::find(members.begin(), members.end(),
+                              transport.rank());
+  MARSIT_CHECK(self != members.end())
+      << "rank " << transport.rank() << " is not a member of this ring";
+  const std::size_t my_pos =
+      static_cast<std::size_t>(self - members.begin());
+  const std::size_t right = members[(my_pos + 1) % L];
+  const std::size_t left = members[(my_pos + L - 1) % L];
+  for (std::size_t s = 0; s + 1 < L; ++s) {
+    const std::size_t send_pos = (my_pos + L - s) % L;
+    const std::size_t recv_pos = (my_pos + L - 1 - s) % L;
+    const std::vector<std::uint8_t>& outgoing = blobs[send_pos];
+    sent_bytes += static_cast<double>(outgoing.size());
+    transport.send(right, tag, {outgoing.data(), outgoing.size()});
+    blobs[recv_pos] = transport.recv(left, tag);
+  }
+}
+
+std::vector<std::size_t> ring_members(std::size_t m) {
+  std::vector<std::size_t> members(m);
+  std::iota(members.begin(), members.end(), std::size_t{0});
+  return members;
+}
+
+std::vector<std::size_t> row_members(std::size_t row, std::size_t cols) {
+  std::vector<std::size_t> members(cols);
+  std::iota(members.begin(), members.end(), row * cols);
+  return members;
+}
+
+std::vector<std::size_t> col_members(std::size_t col, std::size_t rows,
+                                     std::size_t cols) {
+  std::vector<std::size_t> members(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    members[r] = r * cols + col;
+  }
+  return members;
+}
+
+/// All-gathers this rank's `own` blob so `out[g]` holds rank g's blob for
+/// every g, along the configured paradigm's topology.  All blobs must be
+/// `blob_bytes` long (sign words and flush floats both are).
+void all_gather_blobs(Transport& transport, const WorkerConfig& config,
+                      std::uint32_t tag, std::vector<std::uint8_t> own,
+                      std::size_t blob_bytes,
+                      std::vector<std::vector<std::uint8_t>>& out,
+                      double& sent_bytes) {
+  const std::size_t m = transport.world_size();
+  const std::size_t rank = transport.rank();
+  MARSIT_CHECK(own.size() == blob_bytes) << "blob extent mismatch";
+  if (config.paradigm == MarParadigm::kRing) {
+    out.assign(m, {});
+    out[rank] = std::move(own);
+    ring_all_gather(transport, ring_members(m), tag, out, sent_bytes);
+    return;
+  }
+  // Torus: all-gather within the row, then all-gather the whole-row
+  // bundles along the column — the rows-then-columns structure of the
+  // torus collective, with phase B moving cols-times larger payloads.
+  const std::size_t rows = config.torus_rows;
+  const std::size_t cols = config.torus_cols;
+  const std::size_t row = rank / cols;
+  const std::size_t col = rank % cols;
+  std::vector<std::vector<std::uint8_t>> row_blobs(cols);
+  row_blobs[col] = std::move(own);
+  ring_all_gather(transport, row_members(row, cols), tag, row_blobs,
+                  sent_bytes);
+  std::vector<std::uint8_t> bundle;
+  bundle.reserve(cols * blob_bytes);
+  for (const auto& blob : row_blobs) {
+    bundle.insert(bundle.end(), blob.begin(), blob.end());
+  }
+  std::vector<std::vector<std::uint8_t>> bundles(rows);
+  bundles[row] = std::move(bundle);
+  ring_all_gather(transport, col_members(col, rows, cols), tag | 1u, bundles,
+                  sent_bytes);
+  out.assign(m, {});
+  for (std::size_t g = 0; g < m; ++g) {
+    const std::size_t src_row = g / cols;
+    const std::size_t src_col = g % cols;
+    const auto begin =
+        bundles[src_row].begin() +
+        static_cast<std::ptrdiff_t>(src_col * blob_bytes);
+    out[g].assign(begin, begin + static_cast<std::ptrdiff_t>(blob_bytes));
+  }
+}
+
+/// Replays one ring all-gather's hop schedule on `net` (per-rank readiness
+/// in `ready`, indexed by global rank).
+void predict_ring(NetworkSim& net, const std::vector<std::size_t>& members,
+                  double bytes, std::vector<double>& ready) {
+  const std::size_t L = members.size();
+  std::vector<double> done(L, 0.0);
+  for (std::size_t s = 0; s + 1 < L; ++s) {
+    for (std::size_t i = 0; i < L; ++i) {
+      done[i] = net.transfer(members[i], members[(i + 1) % L], bytes,
+                             ready[members[i]]);
+    }
+    for (std::size_t i = 0; i < L; ++i) {
+      // A member starts its next hop once its own send retired and the
+      // incoming blob (from its left neighbour) has landed.
+      ready[members[i]] = std::max(done[i], done[(i + L - 1) % L]);
+    }
+  }
+}
+
+/// α–β prediction for one round's collective: the same hop schedule
+/// all_gather_blobs runs, priced on a fresh NetworkSim.  Pure in config, so
+/// every rank computes the identical figure.
+double predict_round_seconds(const WorkerConfig& config, std::size_t m,
+                             double blob_bytes) {
+  NetworkSim net(m, config.cost_model);
+  std::vector<double> ready(m, 0.0);
+  if (config.paradigm == MarParadigm::kRing) {
+    predict_ring(net, ring_members(m), blob_bytes, ready);
+  } else {
+    const std::size_t rows = config.torus_rows;
+    const std::size_t cols = config.torus_cols;
+    for (std::size_t r = 0; r < rows; ++r) {
+      predict_ring(net, row_members(r, cols), blob_bytes, ready);
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      predict_ring(net, col_members(c, rows, cols),
+                   blob_bytes * static_cast<double>(cols), ready);
+    }
+  }
+  return *std::max_element(ready.begin(), ready.end());
+}
+
+}  // namespace
+
+WorkerResult run_marsit_worker(Transport& transport, const Dataset& dataset,
+                               const std::function<Sequential()>& model_factory,
+                               const WorkerConfig& config) {
+  const std::size_t m = transport.world_size();
+  const std::size_t rank = transport.rank();
+  MARSIT_CHECK(m >= 2) << "distributed run needs at least 2 workers";
+  MARSIT_CHECK(config.paradigm == MarParadigm::kRing ||
+               config.paradigm == MarParadigm::kTorus2d)
+      << "the transport data plane implements ring and torus only";
+  if (config.paradigm == MarParadigm::kTorus2d) {
+    MARSIT_CHECK(config.torus_rows >= 2 && config.torus_cols >= 2 &&
+                 config.torus_rows * config.torus_cols == m)
+        << "torus " << config.torus_rows << "x" << config.torus_cols
+        << " does not tile " << m << " workers";
+  }
+  MARSIT_CHECK(model_factory != nullptr) << "null model factory";
+
+  // Exactly the simulator's streams: same sampler seed salt, same model
+  // init salt, so rank r's gradients equal simulated worker r's.
+  const ShardedSampler sampler(
+      dataset, m, config.batch_size_per_worker, kTrainSampleRange,
+      kTestSampleRange, derive_seed(config.trainer_seed, kSamplerSeedSalt));
+  Sequential model = model_factory();
+  Rng init_rng(derive_seed(config.trainer_seed, kModelInitSeedSalt));
+  model.init(init_rng);
+  const std::size_t d = model.param_count();
+  MARSIT_CHECK(d > 0) << "model has no parameters";
+  MARSIT_CHECK(model.in_size() == dataset.sample_size() &&
+               model.out_size() == dataset.num_classes())
+      << "model shape does not match the dataset";
+
+  auto optimizer = make_optimizer(config.optimizer);
+  Tensor grad(d);
+  Tensor update(d);
+  Tensor adjusted(d);
+  Tensor compensation(d);
+  Tensor global(d);
+  Tensor dlogits;
+  Batch batch;
+  const std::size_t num_words = kernels::words_for(d);
+  const std::size_t k = config.options.full_precision_period;
+
+  WorkerResult result;
+  result.rounds.reserve(config.rounds);
+  for (std::size_t t = 0; t < config.rounds; ++t) {
+    // --- local step (DistributedTrainer::worker_round, local_steps == 1) --
+    sampler.worker_batch(rank, t, batch);
+    model.zero_grads();
+    const auto logits = model.forward(batch.inputs.span(), batch.size());
+    if (dlogits.size() != logits.size()) {
+      dlogits = Tensor(logits.size());
+    }
+    softmax_cross_entropy(logits, {batch.labels.data(), batch.labels.size()},
+                          dataset.num_classes(), dlogits.span());
+    model.backward(dlogits.span(), batch.size());
+    model.copy_grads_into(grad.span());
+    if (config.clip_grad_norm > 0.0f) {
+      const float norm = l2_norm(grad.span());
+      if (norm > config.clip_grad_norm) {
+        scale(grad.span(), config.clip_grad_norm / norm);
+      }
+    }
+    optimizer->transform(grad.span(), update.span());
+    scale(update.span(), config.eta_l);
+
+    // --- synchronize (MarsitSync::do_synchronize, full membership) --------
+    const bool full_precision = k > 0 && t % k == 0;
+    RoundReport report;
+    report.round = t;
+    report.full_precision = full_precision;
+    const std::uint32_t tag = static_cast<std::uint32_t>(t << 1);
+    double sent_bytes = 0.0;
+    const WallClock::time_point comm_start = WallClock::now();
+
+    add(update.span(), compensation.span(), adjusted.span());
+    std::vector<std::vector<std::uint8_t>> gathered;
+    if (full_precision) {
+      all_gather_blobs(transport, config, tag,
+                       bytes_of(adjusted.span().data(), d * sizeof(float)),
+                       d * sizeof(float), gathered, sent_bytes);
+      std::vector<Tensor> others(m);
+      WorkerSpans spans;
+      spans.reserve(m);
+      for (std::size_t g = 0; g < m; ++g) {
+        others[g] = Tensor(d);
+        std::memcpy(others[g].span().data(), gathered[g].data(),
+                    d * sizeof(float));
+        spans.push_back(others[g].span());
+      }
+      aggregate_mean(spans, global.span());
+      if (config.options.full_precision_max_norm > 0.0f) {
+        const float norm = l2_norm(global.span());
+        if (norm > config.options.full_precision_max_norm) {
+          scale(global.span(), config.options.full_precision_max_norm / norm);
+        }
+      }
+      compensation.zero();
+    } else {
+      BitVector own(d);
+      kernels::pack_signs_words(adjusted.span(), own.words());
+      all_gather_blobs(
+          transport, config, tag,
+          bytes_of(own.words().data(), num_words * sizeof(std::uint64_t)),
+          num_words * sizeof(std::uint64_t), gathered, sent_bytes);
+      std::vector<BitVector> signs(m, BitVector(d));
+      for (std::size_t g = 0; g < m; ++g) {
+        std::memcpy(signs[g].words().data(), gathered[g].data(),
+                    num_words * sizeof(std::uint64_t));
+      }
+      const std::uint64_t round_seed = derive_seed(config.sync_seed, t);
+      const ShardPlan plan(d, config.shard_chunk_elements);
+      for (std::size_t c = 0; c < plan.num_chunks(); ++c) {
+        const Shard shard = plan.chunk(c);
+        Rng rng = marsit_chunk_rng(round_seed, c);
+        marsit_fold_signs_words(config.paradigm, config.torus_cols, signs, m,
+                                shard.word_begin(), shard.num_words(), rng);
+      }
+      kernels::unpack_signs_words(signs.front().words(),
+                                  config.options.eta_s, global.span());
+      if (config.options.use_compensation) {
+        sub(adjusted.span(), global.span(), compensation.span());
+      }
+    }
+    report.measured_comm_seconds = seconds_since(comm_start);
+    report.wire_bits = sent_bytes * 8.0;
+    report.predicted_comm_seconds = predict_round_seconds(
+        config, m,
+        full_precision ? static_cast<double>(d * sizeof(float))
+                       : static_cast<double>(num_words * sizeof(std::uint64_t)));
+
+    model.apply_update(global.span());
+    result.rounds.push_back(report);
+  }
+
+  Tensor params(d);
+  model.copy_params_into(params.span());
+  result.param_digest =
+      ckpt::fnv1a(params.span().data(), d * sizeof(float));
+  return result;
+}
+
+}  // namespace marsit::dist

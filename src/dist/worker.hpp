@@ -1,0 +1,92 @@
+// Distributed Marsit worker — one rank of a real multi-process (or
+// multi-thread) training run over a Transport (DESIGN.md §14).
+//
+// Each rank owns a full model replica and runs the exact per-round math of
+// DistributedTrainer + MarsitSync: same sampler streams (sim/trainer.hpp's
+// public seed salts), same local-optimizer transform, same ⊙ reduction
+// (core/sync_strategy.hpp's marsit_fold_signs_words with
+// marsit_chunk_rng's streams).  A run over SimTransport or SocketTransport
+// therefore finishes with parameters bit-identical to the simulator's —
+// the cross-backend determinism contract tests/dist_cross_backend_test
+// pins via FNV-1a param digests.
+//
+// Data plane vs the simulator's wire accounting: the weighted ⊙ fold
+// consumes one rng stream sequentially, so it cannot be distributed
+// across hops without replaying that stream everywhere anyway.  The
+// worker therefore all-gathers the packed sign words along the
+// paradigm's topology (ring; or rows-then-columns on the torus) and every
+// rank runs the identical fold locally — M(M−1)·D sign bits on the wire
+// where the simulator prices the paper's 2(M−1)·D all-reduce.  Same
+// schedule shape, same aggregate, more bytes; the α–β prediction reported
+// per round prices what this backend actually sends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sync_strategy.hpp"
+#include "data/dataset.hpp"
+#include "net/cost_model.hpp"
+#include "net/transport.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace marsit::dist {
+
+struct WorkerConfig {
+  std::size_t batch_size_per_worker = 32;
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+  float eta_l = 0.05f;
+  /// Per-worker gradient clipping before the local optimizer (0 disables);
+  /// same semantics as TrainerConfig::clip_grad_norm.
+  float clip_grad_norm = 0.0f;
+  std::size_t rounds = 10;
+  /// Seeds TrainerConfig::seed / SyncConfig::seed would carry in the
+  /// simulator run this worker must match.
+  std::uint64_t trainer_seed = 7;
+  std::uint64_t sync_seed = 7;
+  /// kRing or kTorus2d (the transports are peer meshes; the parameter
+  /// server and tree schedules are simulator-only for now).
+  MarParadigm paradigm = MarParadigm::kRing;
+  std::size_t torus_rows = 0;
+  std::size_t torus_cols = 0;
+  MarsitOptions options;
+  /// SyncConfig::shard_chunk_elements — the fold's chunk grid.  Must match
+  /// the simulator run being compared against (the per-chunk rng streams
+  /// depend on it); the default is SyncConfig's default.
+  std::size_t shard_chunk_elements = std::size_t{1} << 16;
+  /// Prices the per-round α–β prediction reported next to measured
+  /// wall-clock.
+  CostModel cost_model;
+};
+
+struct RoundReport {
+  std::size_t round = 0;
+  bool full_precision = false;
+  /// Host wall-clock spent in this rank's communication phase.
+  double measured_comm_seconds = 0.0;
+  /// α–β prediction for the whole round's collective (all ranks), from a
+  /// NetworkSim replay of the hop schedule this backend ran.
+  double predicted_comm_seconds = 0.0;
+  /// Payload bits this rank put on the wire this round.
+  double wire_bits = 0.0;
+};
+
+struct WorkerResult {
+  /// FNV-1a digest over the final parameter bytes — the cross-backend
+  /// equality witness.
+  std::uint64_t param_digest = 0;
+  std::vector<RoundReport> rounds;
+};
+
+/// Runs `config.rounds` rounds of Marsit training as rank
+/// `transport.rank()` of `transport.world_size()` workers.  Blocking; every
+/// rank of the job must call this with identical config, dataset and model
+/// factory.
+WorkerResult run_marsit_worker(Transport& transport, const Dataset& dataset,
+                               const std::function<Sequential()>& model_factory,
+                               const WorkerConfig& config);
+
+}  // namespace marsit::dist

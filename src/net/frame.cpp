@@ -1,0 +1,74 @@
+#include "net/frame.hpp"
+
+#include "net/crc32.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((value >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const std::uint8_t* at) {
+  return static_cast<std::uint32_t>(at[0]) |
+         (static_cast<std::uint32_t>(at[1]) << 8) |
+         (static_cast<std::uint32_t>(at[2]) << 16) |
+         (static_cast<std::uint32_t>(at[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::uint32_t magic, std::uint32_t tag,
+                                       std::span<const std::uint8_t> payload) {
+  MARSIT_CHECK(magic == kDataMagic || magic == kAckMagic)
+      << "unknown frame magic " << magic;
+  MARSIT_CHECK(payload.size() <= kMaxFramePayloadBytes)
+      << "frame payload of " << payload.size() << " bytes exceeds the "
+      << kMaxFramePayloadBytes << " ceiling";
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size() + kFrameFooterBytes);
+  put_u32(bytes, magic);
+  put_u32(bytes, tag);
+  put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  // CRC over tag | length | payload — everything after the magic.
+  const std::uint32_t footer = crc32(bytes.data() + 4, bytes.size() - 4);
+  put_u32(bytes, footer);
+  return bytes;
+}
+
+std::size_t try_decode_frame(std::span<const std::uint8_t> buffer,
+                             Frame& out) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    return 0;
+  }
+  const std::uint32_t magic = get_u32(buffer.data());
+  MARSIT_CHECK(magic == kDataMagic || magic == kAckMagic)
+      << "frame stream desynchronized: unknown magic " << magic;
+  const std::uint32_t tag = get_u32(buffer.data() + 4);
+  const std::uint32_t length = get_u32(buffer.data() + 8);
+  MARSIT_CHECK(length <= kMaxFramePayloadBytes)
+      << "frame declares a " << length << "-byte payload, above the "
+      << kMaxFramePayloadBytes << " ceiling";
+  const std::size_t total =
+      kFrameHeaderBytes + static_cast<std::size_t>(length) + kFrameFooterBytes;
+  if (buffer.size() < total) {
+    return 0;
+  }
+  const std::uint32_t footer = get_u32(buffer.data() + total - 4);
+  MARSIT_CHECK(crc32_matches(buffer.data() + 4, total - 8, footer))
+      << "frame CRC mismatch on tag " << tag;
+  out.magic = magic;
+  out.tag = tag;
+  out.payload.assign(buffer.begin() + kFrameHeaderBytes,
+                     buffer.begin() + static_cast<std::ptrdiff_t>(
+                                          kFrameHeaderBytes + length));
+  return total;
+}
+
+}  // namespace marsit

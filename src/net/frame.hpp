@@ -1,0 +1,60 @@
+// SocketTransport wire format: length-prefixed frames with the same CRC32
+// footer the simulator prices (net/crc32.hpp), so both backends carry the
+// identical integrity overhead.
+//
+// Frame layout (all integers little-endian):
+//
+//   magic   u32   kDataMagic ("MRSF") or kAckMagic ("MRSA")
+//   tag     u32   stream tag (collective phase / round)
+//   length  u32   payload byte count (0 for acks)
+//   payload length bytes
+//   crc32   u32   CRC32 over everything after the magic (tag | length |
+//                 payload) — the magic is the resynchronization sentinel
+//                 and stays outside the checksum.
+//
+// Decoding is hostile-reader safe (the ckpt_snapshot_test discipline): a
+// short buffer is "wait for more bytes", but a bad magic, an oversized
+// declared length, or a checksum mismatch throws CheckError — a framing
+// error on a stream socket is unrecoverable desynchronization, never
+// something to guess past.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace marsit {
+
+inline constexpr std::uint32_t kDataMagic = 0x4d525346;  // "MRSF"
+inline constexpr std::uint32_t kAckMagic = 0x4d525341;   // "MRSA"
+
+/// Hard ceiling on a frame's declared payload size: anything larger is a
+/// corrupted or hostile length prefix, rejected before any allocation.
+inline constexpr std::uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+/// magic + tag + length.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// The CRC32 footer.
+inline constexpr std::size_t kFrameFooterBytes = 4;
+
+struct Frame {
+  std::uint32_t magic = 0;
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool is_ack() const { return magic == kAckMagic; }
+};
+
+/// Serializes one frame (header | payload | crc32 footer).
+std::vector<std::uint8_t> encode_frame(std::uint32_t magic, std::uint32_t tag,
+                                       std::span<const std::uint8_t> payload);
+
+/// Attempts to decode one frame from the front of `buffer`.  Returns the
+/// number of bytes consumed (header + payload + footer) with `out` filled,
+/// or 0 when the buffer holds only a prefix (caller reads more bytes and
+/// retries).  Throws CheckError on an unknown magic, a length above
+/// kMaxFramePayloadBytes, or a CRC mismatch.
+std::size_t try_decode_frame(std::span<const std::uint8_t> buffer, Frame& out);
+
+}  // namespace marsit

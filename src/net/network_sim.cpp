@@ -57,6 +57,22 @@ double NetworkSim::defer_past_outages(std::size_t src, std::size_t dst,
   return start;
 }
 
+double NetworkSim::charge_retries(double fault_rate, double bytes,
+                                  double start) {
+  const FaultPlan& plan = *fault_plan_;
+  double timeout = plan.retry_timeout;
+  for (std::size_t attempt = 0;
+       attempt < plan.max_retries && fault_rng_.bernoulli(fault_rate);
+       ++attempt) {
+    retransmitted_bytes_ += bytes;
+    total_bytes_ += bytes;
+    ++retransmissions_;
+    start += timeout;
+    timeout *= plan.retry_backoff;
+  }
+  return start;
+}
+
 double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
                             double ready_time, bool server_endpoint) {
   MARSIT_CHECK(src < nodes_.size() && dst < nodes_.size())
@@ -94,16 +110,7 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
     // sender waits out the (exponentially backed-off) retry timeout before
     // transmitting again.
     if (plan.packet_loss > 0.0) {
-      double timeout = plan.retry_timeout;
-      for (std::size_t attempt = 0; attempt < plan.max_retries &&
-                                    fault_rng_.bernoulli(plan.packet_loss);
-           ++attempt) {
-        retransmitted_bytes_ += bytes;
-        total_bytes_ += bytes;
-        ++retransmissions_;
-        start += timeout;
-        timeout *= plan.retry_backoff;
-      }
+      start = charge_retries(plan.packet_loss, bytes, start);
     }
     // Corruption: the receiver's CRC32 check rejects the delivery and the
     // sender retransmits after the same backed-off timeout as packet loss.
@@ -111,17 +118,7 @@ double NetworkSim::transfer(std::size_t src, std::size_t dst, double bytes,
     // sender_demoted routes the sender through the survivor path instead of
     // delivering garbage.)
     if (plan.corruption_rate > 0.0) {
-      double timeout = plan.retry_timeout;
-      for (std::size_t attempt = 0;
-           attempt < plan.max_retries &&
-           fault_rng_.bernoulli(plan.corruption_rate);
-           ++attempt) {
-        retransmitted_bytes_ += bytes;
-        total_bytes_ += bytes;
-        ++retransmissions_;
-        start += timeout;
-        timeout *= plan.retry_backoff;
-      }
+      start = charge_retries(plan.corruption_rate, bytes, start);
     }
     end = start + duration;
   }

@@ -92,6 +92,14 @@ class NetworkSim {
   double defer_past_outages(std::size_t src, std::size_t dst,
                             double start) const;
 
+  /// Shared retry engine for the packet-loss and corruption fault paths.
+  /// Each failed attempt burns `bytes` on the wire (charged to both the
+  /// retransmission and total counters) and delays `start` by the
+  /// exponentially backed-off retry timeout.  Both fault kinds route
+  /// through here so an identical (seed, attempts) draw always charges
+  /// identical retransmitted-bit and elapsed-time totals.
+  double charge_retries(double fault_rate, double bytes, double start);
+
   CostModel model_;
   std::vector<NodeNics> nodes_;
   const FaultPlan* fault_plan_ = nullptr;

@@ -1,0 +1,102 @@
+// SimTransport — the Transport backend over NetworkSim (DESIGN.md §14).
+//
+// A SimFabric owns one NetworkSim shared by all endpoints, the same way the
+// collective schedules in src/collectives share one: every send() is priced
+// through NetworkSim::transfer on the α–β cost model (including the CRC
+// footer under corruption plans and per-NIC serialization), and the payload
+// itself is handed over through an in-memory mailbox.  Delivery is
+// immediate from the caller's perspective — the simulator's transfer()
+// already accounts for when the bytes land — which satisfies the Transport
+// contract that send() returns once the peer's transport accepted the
+// message.
+//
+// This is the deterministic oracle the socket backend is checked against: a
+// distributed worker run over SimTransport must produce bit-identical
+// parameters to the same run over SocketTransport, because both carry the
+// same bytes through the same schedules (tests/dist_cross_backend_test).
+//
+// Endpoints may live on different threads (the in-process cross-backend
+// test does this); the fabric serializes all state under one mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/network_sim.hpp"
+#include "net/transport.hpp"
+
+namespace marsit {
+
+class SimTransport;
+
+/// The shared medium: one NetworkSim plus the in-memory mailboxes of every
+/// (src, dst, tag) stream.
+class SimFabric {
+ public:
+  SimFabric(std::size_t world_size, const CostModel& cost_model);
+
+  std::size_t world_size() const { return world_size_; }
+
+  /// Creates the endpoint for `rank` (each rank exactly once).
+  std::unique_ptr<SimTransport> endpoint(std::size_t rank);
+
+  /// Total simulated seconds the fabric has charged across all transfers —
+  /// the α–β prediction the trainer reports next to measured wall-clock.
+  double simulated_seconds() const;
+
+  /// Total bytes priced on the simulated wire.
+  double total_bytes() const;
+
+ private:
+  friend class SimTransport;
+
+  void send(std::size_t src, std::size_t dst, std::uint32_t tag,
+            std::span<const std::uint8_t> payload);
+  std::vector<std::uint8_t> recv(std::size_t src, std::size_t dst,
+                                 std::uint32_t tag);
+
+  using StreamKey = std::tuple<std::size_t, std::size_t, std::uint32_t>;
+
+  std::size_t world_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  NetworkSim net_;
+  /// Monotone fabric clock: every send is scheduled ready at the latest
+  /// completion so far, and the maximum completion is the fabric's total.
+  double simulated_seconds_ = 0.0;
+  std::map<StreamKey, std::deque<std::vector<std::uint8_t>>> mail_;
+};
+
+class SimTransport final : public Transport {
+ public:
+  std::size_t rank() const override { return rank_; }
+  std::size_t world_size() const override { return fabric_->world_size(); }
+
+  void send(std::size_t peer, std::uint32_t tag,
+            std::span<const std::uint8_t> payload) override {
+    fabric_->send(rank_, peer, tag, payload);
+  }
+  std::vector<std::uint8_t> recv(std::size_t peer,
+                                 std::uint32_t tag) override {
+    return fabric_->recv(peer, rank_, tag);
+  }
+
+ private:
+  friend class SimFabric;
+  SimTransport(SimFabric* fabric, std::size_t rank)
+      : fabric_(fabric), rank_(rank) {}
+
+  SimFabric* fabric_;
+  std::size_t rank_;
+};
+
+}  // namespace marsit

@@ -1,0 +1,284 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/frame.hpp"
+#include "util/check.hpp"
+
+namespace marsit {
+
+namespace {
+
+/// write(2) until every byte is out, retrying EINTR.  Returns false on any
+/// other error (peer gone); callers surface it as a closed connection.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// read(2) exactly `size` bytes, retrying EINTR.  False on EOF or error.
+bool read_all(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::size_t rank, std::vector<int> peer_fds)
+    : rank_(rank) {
+  MARSIT_CHECK(rank < peer_fds.size())
+      << "rank " << rank << " outside the " << peer_fds.size()
+      << "-endpoint mesh";
+  connections_.resize(peer_fds.size());
+  for (std::size_t peer = 0; peer < peer_fds.size(); ++peer) {
+    if (peer == rank) {
+      MARSIT_CHECK(peer_fds[peer] < 0) << "self slot must carry fd -1";
+      continue;
+    }
+    MARSIT_CHECK(peer_fds[peer] >= 0)
+        << "missing socket for peer " << peer;
+    connections_[peer] = std::make_unique<Connection>();
+    Connection& conn = *connections_[peer];
+    conn.fd = peer_fds[peer];
+    // Sign payloads are latency-sensitive small frames; never Nagle-delay
+    // the ack behind them.
+    const int one = 1;
+    (void)::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    conn.reader = std::thread([this, &conn] { reader_loop(conn); });
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (auto& conn : connections_) {
+    if (conn == nullptr) {
+      continue;
+    }
+    // Wake the reader out of its blocking read; it marks the connection
+    // closed and exits.
+    ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->reader.joinable()) {
+      conn->reader.join();
+    }
+    ::close(conn->fd);
+  }
+}
+
+SocketTransport::Connection& SocketTransport::connection(std::size_t peer) {
+  MARSIT_CHECK(peer < connections_.size() && peer != rank_)
+      << "rank " << rank_ << " has no connection to peer " << peer;
+  return *connections_[peer];
+}
+
+void SocketTransport::reader_loop(Connection& conn) {
+  std::string error;
+  while (true) {
+    // Frames are read header-first: the fixed 12 bytes name the payload
+    // size, then the remainder arrives in one exact read.  try_decode_frame
+    // re-validates the whole thing (magic, length ceiling, CRC).
+    std::vector<std::uint8_t> bytes(kFrameHeaderBytes);
+    if (!read_all(conn.fd, bytes.data(), bytes.size())) {
+      break;  // EOF / peer shutdown: a clean close, not an error
+    }
+    Frame frame;
+    try {
+      std::size_t consumed = try_decode_frame(
+          {bytes.data(), bytes.size()}, frame);
+      if (consumed == 0) {
+        const std::uint32_t length = static_cast<std::uint32_t>(bytes[8]) |
+            (static_cast<std::uint32_t>(bytes[9]) << 8) |
+            (static_cast<std::uint32_t>(bytes[10]) << 16) |
+            (static_cast<std::uint32_t>(bytes[11]) << 24);
+        // Length was not yet ceiling-checked if the header alone decoded to
+        // "need more": fetch body + footer, then decode for real.
+        MARSIT_CHECK(length <= kMaxFramePayloadBytes)
+            << "frame declares a " << length << "-byte payload";
+        const std::size_t rest =
+            static_cast<std::size_t>(length) + kFrameFooterBytes;
+        bytes.resize(kFrameHeaderBytes + rest);
+        if (!read_all(conn.fd, bytes.data() + kFrameHeaderBytes, rest)) {
+          error = "connection dropped mid-frame";
+          break;
+        }
+        consumed = try_decode_frame({bytes.data(), bytes.size()}, frame);
+        MARSIT_CHECK(consumed == bytes.size())
+            << "frame decode consumed " << consumed << " of " << bytes.size();
+      }
+    } catch (const CheckError& failure) {
+      error = failure.what();
+      break;
+    }
+    if (frame.is_ack()) {
+      {
+        const std::lock_guard<std::mutex> lock(conn.mutex);
+        ++conn.acks;
+      }
+      conn.cv.notify_all();
+      continue;
+    }
+    // Data frame: mailbox it, then ack.  Acking from the reader thread —
+    // never from recv() — keeps send/recv order on the two endpoints
+    // independent, which is what makes symmetric exchanges deadlock-free.
+    {
+      const std::lock_guard<std::mutex> lock(conn.mutex);
+      conn.mailbox[frame.tag].push_back(std::move(frame.payload));
+    }
+    conn.cv.notify_all();
+    const std::vector<std::uint8_t> ack = encode_frame(kAckMagic, frame.tag, {});
+    const std::lock_guard<std::mutex> lock(conn.write_mutex);
+    if (!write_all(conn.fd, ack.data(), ack.size())) {
+      error = "peer vanished before ack";
+      break;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn.mutex);
+    conn.closed = true;
+    conn.error = error;
+  }
+  conn.cv.notify_all();
+}
+
+void SocketTransport::send(std::size_t peer, std::uint32_t tag,
+                           std::span<const std::uint8_t> payload) {
+  Connection& conn = connection(peer);
+  const std::vector<std::uint8_t> frame =
+      encode_frame(kDataMagic, tag, payload);
+  std::size_t seq = 0;
+  {
+    const std::lock_guard<std::mutex> lock(conn.write_mutex);
+    MARSIT_CHECK(write_all(conn.fd, frame.data(), frame.size()))
+        << "rank " << rank_ << " failed to write to peer " << peer;
+    const std::lock_guard<std::mutex> state(conn.mutex);
+    seq = ++conn.sent;
+  }
+  std::unique_lock<std::mutex> lock(conn.mutex);
+  conn.cv.wait(lock, [&] { return conn.acks >= seq || conn.closed; });
+  MARSIT_CHECK(conn.acks >= seq)
+      << "rank " << rank_ << " lost peer " << peer << " awaiting ack"
+      << (conn.error.empty() ? "" : ": ") << conn.error;
+}
+
+std::vector<std::uint8_t> SocketTransport::recv(std::size_t peer,
+                                                std::uint32_t tag) {
+  Connection& conn = connection(peer);
+  std::unique_lock<std::mutex> lock(conn.mutex);
+  conn.cv.wait(lock, [&] {
+    const auto found = conn.mailbox.find(tag);
+    return (found != conn.mailbox.end() && !found->second.empty()) ||
+           conn.closed;
+  });
+  const auto found = conn.mailbox.find(tag);
+  MARSIT_CHECK(found != conn.mailbox.end() && !found->second.empty())
+      << "rank " << rank_ << " lost peer " << peer << " awaiting tag " << tag
+      << (conn.error.empty() ? "" : ": ") << conn.error;
+  std::vector<std::uint8_t> payload = std::move(found->second.front());
+  found->second.pop_front();
+  return payload;
+}
+
+int bind_loopback_listener(std::uint16_t* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  MARSIT_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0)
+      << "bind(): " << std::strerror(errno);
+  socklen_t len = sizeof(addr);
+  MARSIT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
+               0)
+      << "getsockname(): " << std::strerror(errno);
+  MARSIT_CHECK(::listen(fd, SOMAXCONN) == 0)
+      << "listen(): " << std::strerror(errno);
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,
+                                     int listen_fd,
+                                     std::span<const std::uint16_t> ports) {
+  MARSIT_CHECK(world_size >= 2 && rank < world_size &&
+               ports.size() == world_size)
+      << "mesh of " << world_size << " needs " << world_size
+      << " ports and rank " << rank << " in range";
+  std::vector<int> fds(world_size, -1);
+  // Connect downward: rank r dials every lower rank and announces itself.
+  for (std::size_t peer = 0; peer < rank; ++peer) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ports[peer]);
+    int rc = -1;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    MARSIT_CHECK(rc == 0) << "rank " << rank << " cannot reach rank " << peer
+                          << ": " << std::strerror(errno);
+    const std::uint32_t hello = static_cast<std::uint32_t>(rank);
+    std::uint8_t wire[4] = {
+        static_cast<std::uint8_t>(hello & 0xff),
+        static_cast<std::uint8_t>((hello >> 8) & 0xff),
+        static_cast<std::uint8_t>((hello >> 16) & 0xff),
+        static_cast<std::uint8_t>((hello >> 24) & 0xff),
+    };
+    MARSIT_CHECK(write_all(fd, wire, sizeof(wire)))
+        << "rank " << rank << " hello to " << peer << " failed";
+    fds[peer] = fd;
+  }
+  // Accept upward: every higher rank dials us and says who it is.
+  for (std::size_t expected = rank + 1; expected < world_size; ++expected) {
+    int fd = -1;
+    do {
+      fd = ::accept(listen_fd, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    MARSIT_CHECK(fd >= 0) << "accept(): " << std::strerror(errno);
+    std::uint8_t wire[4] = {0, 0, 0, 0};
+    MARSIT_CHECK(read_all(fd, wire, sizeof(wire))) << "hello read failed";
+    const std::uint32_t peer = static_cast<std::uint32_t>(wire[0]) |
+                               (static_cast<std::uint32_t>(wire[1]) << 8) |
+                               (static_cast<std::uint32_t>(wire[2]) << 16) |
+                               (static_cast<std::uint32_t>(wire[3]) << 24);
+    MARSIT_CHECK(peer > rank && peer < world_size && fds[peer] == -1)
+        << "mesh hello names rank " << peer << ", which rank " << rank
+        << " does not expect";
+    fds[peer] = fd;
+  }
+  ::close(listen_fd);
+  return fds;
+}
+
+}  // namespace marsit

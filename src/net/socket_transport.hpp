@@ -1,0 +1,90 @@
+// SocketTransport — the real-OS-socket Transport backend (DESIGN.md §14).
+//
+// One endpoint per worker process (or per thread in tests), fully meshed
+// over loopback TCP: rank r holds one connected stream socket per peer.
+// Messages travel as net/frame.hpp frames; every data frame is acked by the
+// receiving endpoint, and send() blocks until the matching ack arrives, so
+// the simulator's "send completes when the payload is accepted" semantics
+// hold on real sockets too.
+//
+// Each connection owns a reader thread that decodes incoming frames
+// autonomously: data frames land in per-tag FIFO mailboxes (and are acked
+// immediately), ack frames release blocked senders.  Because acking never
+// waits on the application, two peers may both send() before either
+// recv()s — the deadlock that kills naive blocking-socket rings.
+//
+// Determinism note: the transport carries bytes and never consumes rng or
+// clocks; all nondeterminism (thread scheduling, TCP timing) is confined to
+// *when* payloads arrive, not *what* they contain, and the collective
+// schedules impose a total order per stream via tags.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace marsit {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Takes ownership of `peer_fds`: one connected stream socket per peer,
+  /// indexed by peer rank, -1 at `rank` (self).  Spawns one reader thread
+  /// per connection.
+  SocketTransport(std::size_t rank, std::vector<int> peer_fds);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::size_t rank() const override { return rank_; }
+  std::size_t world_size() const override { return connections_.size(); }
+
+  void send(std::size_t peer, std::uint32_t tag,
+            std::span<const std::uint8_t> payload) override;
+  std::vector<std::uint8_t> recv(std::size_t peer, std::uint32_t tag) override;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::mutex write_mutex;  // serializes frame writes (data vs acks)
+    std::mutex mutex;        // guards everything below
+    std::condition_variable cv;
+    std::map<std::uint32_t, std::deque<std::vector<std::uint8_t>>> mailbox;
+    std::size_t acks = 0;  // data frames the peer has acknowledged
+    std::size_t sent = 0;  // data frames written to the peer
+    bool closed = false;
+    std::string error;  // first framing/IO failure, re-thrown at callers
+  };
+
+  Connection& connection(std::size_t peer);
+  void reader_loop(Connection& conn);
+
+  std::size_t rank_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // [peer], self null
+};
+
+/// Binds a listening TCP socket on 127.0.0.1 with an OS-assigned port
+/// (written to *port_out).  Returns the listening fd.
+int bind_loopback_listener(std::uint16_t* port_out);
+
+/// Builds rank's side of the full mesh: connects to every lower rank's
+/// listener (announcing itself with a 4-byte little-endian rank hello) and
+/// accepts one connection from every higher rank (reading its hello to slot
+/// the fd).  Closes `listen_fd` before returning.  `ports[r]` is rank r's
+/// listener port.  Returns fds indexed by peer rank, -1 at `rank`.
+std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,
+                                     int listen_fd,
+                                     std::span<const std::uint16_t> ports);
+
+}  // namespace marsit

@@ -15,12 +15,6 @@
 
 namespace marsit {
 
-namespace {
-// Procedural datasets are unbounded; carve disjoint train/test index ranges.
-constexpr std::uint64_t kTrainRange = 1u << 22;
-constexpr std::uint64_t kTestRange = 1u << 16;
-}  // namespace
-
 DistributedTrainer::DistributedTrainer(
     const Dataset& dataset, std::function<Sequential()> model_factory,
     SyncStrategy& strategy, TrainerConfig config)
@@ -28,8 +22,8 @@ DistributedTrainer::DistributedTrainer(
       strategy_(strategy),
       config_(config),
       sampler_(dataset, strategy.config().num_workers,
-               config.batch_size_per_worker, kTrainRange, kTestRange,
-               derive_seed(config.seed, 0xda7a)) {
+               config.batch_size_per_worker, kTrainSampleRange,
+               kTestSampleRange, derive_seed(config.seed, kSamplerSeedSalt)) {
   const std::size_t m = strategy_.config().num_workers;
   MARSIT_CHECK(m >= 2) << "trainer needs at least two workers";
   MARSIT_CHECK(model_factory != nullptr) << "null model factory";
@@ -37,7 +31,7 @@ DistributedTrainer::DistributedTrainer(
   replicas_.reserve(m);
   for (std::size_t w = 0; w < m; ++w) {
     replicas_.push_back(model_factory());
-    Rng init_rng(derive_seed(config_.seed, 0x1417));
+    Rng init_rng(derive_seed(config_.seed, kModelInitSeedSalt));
     replicas_.back().init(init_rng);  // same seed => identical replicas
   }
   param_count_ = replicas_.front().param_count();

@@ -37,6 +37,15 @@
 
 namespace marsit {
 
+/// Disjoint train/test index ranges carved out of the unbounded procedural
+/// datasets, and the seed salts deriving the sampler and model-init streams
+/// from TrainerConfig::seed.  Public so an out-of-process worker
+/// (src/dist) can reproduce the trainer's exact data and init streams.
+inline constexpr std::uint64_t kTrainSampleRange = 1u << 22;
+inline constexpr std::uint64_t kTestSampleRange = 1u << 16;
+inline constexpr std::uint64_t kSamplerSeedSalt = 0xda7a;
+inline constexpr std::uint64_t kModelInitSeedSalt = 0x1417;
+
 struct TrainerConfig {
   std::size_t batch_size_per_worker = 32;
   OptimizerKind optimizer = OptimizerKind::kSgd;

@@ -208,7 +208,28 @@ TEST(CheckpointTest, RejectsShuffledSections) {
 TEST(CheckpointTest, ExpandsRoundPlaceholder) {
   EXPECT_EQ(expand_checkpoint_path("ckpt_{round}.bin", 12), "ckpt_12.bin");
   EXPECT_EQ(expand_checkpoint_path("ckpt.bin", 12), "ckpt.bin");
-  EXPECT_EQ(expand_checkpoint_path("{round}/{round}", 3), "3/{round}");
+  // Every occurrence expands, including round-numbered directories.
+  EXPECT_EQ(expand_checkpoint_path("{round}/{round}", 3), "3/3");
+  EXPECT_EQ(expand_checkpoint_path("runs/{round}/ckpt-{round}.bin", 7),
+            "runs/7/ckpt-7.bin");
+}
+
+TEST(CheckpointTest, ExpandPathEdgeCases) {
+  // No placeholder at all: the template passes through verbatim.
+  EXPECT_EQ(expand_checkpoint_path("", 4), "");
+  EXPECT_EQ(expand_checkpoint_path("round", 4), "round");
+  // Bare filename with no directory component.
+  EXPECT_EQ(expand_checkpoint_path("{round}", 42), "42");
+  EXPECT_EQ(expand_checkpoint_path("{round}{round}", 5), "55");
+  // Expansion must not rescan its own output: a template whose pieces only
+  // spell "{round}" after one replacement stays un-expanded.
+  EXPECT_EQ(expand_checkpoint_path("{rou{round}nd}", 0), "{rou0nd}");
+  // Partial / malformed markers are literal text.
+  EXPECT_EQ(expand_checkpoint_path("{round", 9), "{round");
+  EXPECT_EQ(expand_checkpoint_path("round}", 9), "round}");
+  // Large round numbers survive the uint64 range.
+  EXPECT_EQ(expand_checkpoint_path("ckpt_{round}.bin", 18446744073709551615ULL),
+            "ckpt_18446744073709551615.bin");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/crc32.hpp"
+#include "net/fault_plan.hpp"
 #include "util/check.hpp"
 
 namespace marsit {
@@ -177,6 +179,63 @@ TEST(WireFormatTest, CascadingCarriesNormScalar) {
   const WireFormat wire = cascading_wire(model);
   EXPECT_NEAR(wire.reduce_bits(100, 5), 132.0, 1e-12);
   EXPECT_GT(wire.serial_seconds_per_element, 0.0);
+}
+
+TEST(RingTimingTest, CorruptionChargesFooterOncePerDeliveredMessage) {
+  // ISSUE satellite: under a corruption plan every delivered message grows
+  // by exactly one 32-bit CRC footer in total_wire_bits — added in one
+  // place, never double-counted against retransmission accounting.
+  const CostModel model = test_model();
+  NetworkSim clean_net(4, model);
+  const auto clean =
+      ring_allreduce_timing(4, 400, full_precision_wire(), clean_net);
+
+  FaultPlan plan;
+  plan.corruption_rate = 1e-12;  // footer cost without actual corruption
+  plan.retry_timeout = 1.0;
+  NetworkSim net(4, model);
+  net.set_fault_plan(&plan);
+  net.begin_round(0);
+  const auto lossy = ring_allreduce_timing(4, 400, full_precision_wire(), net);
+  // The M=4 ring moves 2(M−1) steps × M segments = 24 messages.
+  EXPECT_DOUBLE_EQ(lossy.total_wire_bits,
+                   clean.total_wire_bits + kCrcFooterBits * 24.0);
+  EXPECT_DOUBLE_EQ(lossy.retransmitted_wire_bits, 0.0);
+  // Payload accounting stays footer-free.
+  EXPECT_DOUBLE_EQ(lossy.bits_per_worker, clean.bits_per_worker);
+}
+
+TEST(PipelinedTimingTest, SerialCacheKeysOnChunkGeometry) {
+  // ISSUE satellite regression: the serial reference used to be cached by
+  // element count alone, so a mixed-geometry plan (different schedule per
+  // chunk) reused chunk 0's measurement for every same-size chunk.  The
+  // cache now keys on the chunk's full geometry fingerprint.
+  const CostModel model = test_model();
+  const WireFormat wire = full_precision_wire();
+  NetworkSim ref(4, model);
+  const double t_ring =
+      ring_allreduce_timing(4, 64, wire, ref).completion_seconds;
+  ref.reset();
+  const double t_tree =
+      tree_allreduce_timing(4, 64, wire, ref).completion_seconds;
+  ASSERT_NE(t_ring, t_tree) << "geometries must differ for this regression";
+
+  NetworkSim net(4, model);
+  const auto timing = pipelined_collective_timing(
+      128, 64, wire, net,
+      [](std::size_t chunk_index, std::size_t elements,
+         const WireFormat& chunk_wire, NetworkSim& chunk_net,
+         double start_time) {
+        return chunk_index == 0
+                   ? ring_allreduce_timing(4, elements, chunk_wire, chunk_net,
+                                           start_time)
+                   : tree_allreduce_timing(4, elements, chunk_wire, chunk_net,
+                                           start_time);
+      });
+  // Two 64-element chunks over distinct topologies: the serial reference
+  // must price each with its own schedule (the old cache returned
+  // 2 × t_ring here).
+  EXPECT_NEAR(timing.serial_completion_seconds, t_ring + t_tree, 1e-9);
 }
 
 TEST(WireFormatTest, MarsitCombineIsOverlapped) {

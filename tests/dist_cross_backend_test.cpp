@@ -1,0 +1,187 @@
+// The cross-backend determinism contract (DESIGN.md §14): one seed, three
+// executions — the simulator (DistributedTrainer + MarsitSync), the
+// distributed worker over SimTransport, and the distributed worker over
+// real loopback sockets — and every rank of every backend must finish with
+// bit-identical parameters, witnessed by FNV-1a digests.
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/snapshot.hpp"
+#include "core/sync_strategy.hpp"
+#include "data/synthetic_digits.hpp"
+#include "dist/worker.hpp"
+#include "net/sim_transport.hpp"
+#include "net/socket_transport.hpp"
+#include "nn/models.hpp"
+#include "sim/trainer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/logging.hpp"
+
+namespace marsit {
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kRounds = 6;
+
+dist::WorkerConfig worker_config(MarParadigm paradigm) {
+  dist::WorkerConfig config;
+  config.batch_size_per_worker = 8;
+  config.optimizer = OptimizerKind::kSgd;
+  config.eta_l = 0.05f;
+  config.rounds = kRounds;
+  config.trainer_seed = 11;
+  config.sync_seed = 2022;
+  config.paradigm = paradigm;
+  if (paradigm == MarParadigm::kTorus2d) {
+    config.torus_rows = 2;
+    config.torus_cols = 2;
+  }
+  config.options.eta_s = 2e-3f;
+  config.options.full_precision_period = 3;
+  config.shard_chunk_elements = 128;
+  return config;
+}
+
+Sequential make_model(const SyntheticDigits& digits) {
+  return make_mlp(digits.sample_size(), {8}, digits.num_classes());
+}
+
+/// The oracle: the simulator run every backend must reproduce.
+std::uint64_t trainer_digest(const dist::WorkerConfig& config) {
+  SyntheticDigits digits;
+  const auto factory = [&digits] { return make_model(digits); };
+  SyncConfig sync_config;
+  sync_config.num_workers = kWorkers;
+  sync_config.paradigm = config.paradigm;
+  sync_config.torus_rows = config.torus_rows;
+  sync_config.torus_cols = config.torus_cols;
+  sync_config.seed = config.sync_seed;
+  sync_config.shard_chunk_elements = config.shard_chunk_elements;
+  MarsitSync strategy(sync_config, config.options);
+
+  TrainerConfig trainer_config;
+  trainer_config.batch_size_per_worker = config.batch_size_per_worker;
+  trainer_config.optimizer = config.optimizer;
+  trainer_config.eta_l = config.eta_l;
+  trainer_config.rounds = config.rounds;
+  trainer_config.eval_interval = config.rounds + 1;  // digests only
+  trainer_config.seed = config.trainer_seed;
+
+  DistributedTrainer trainer(digits, factory, strategy, trainer_config);
+  (void)trainer.train();
+  Tensor params(trainer.param_count());
+  trainer.copy_params_into(params.span());
+  return ckpt::fnv1a(params.span().data(), params.size() * sizeof(float));
+}
+
+/// Runs kWorkers ranks on threads, one transport each, and returns the
+/// per-rank results in rank order.
+std::vector<dist::WorkerResult> run_ranks(
+    const dist::WorkerConfig& config,
+    const std::function<std::unique_ptr<Transport>(std::size_t)>& make) {
+  std::vector<dist::WorkerResult> results(kWorkers);
+  std::vector<std::thread> ranks;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    ranks.emplace_back([&, r] {
+      SyntheticDigits digits;
+      const auto factory = [&digits] { return make_model(digits); };
+      std::unique_ptr<Transport> transport = make(r);
+      results[r] = dist::run_marsit_worker(*transport, digits, factory,
+                                           config);
+    });
+  }
+  for (std::thread& t : ranks) {
+    t.join();
+  }
+  return results;
+}
+
+std::vector<dist::WorkerResult> run_over_sim_fabric(
+    const dist::WorkerConfig& config) {
+  SimFabric fabric(kWorkers, config.cost_model);
+  std::vector<std::unique_ptr<Transport>> endpoints;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    endpoints.push_back(fabric.endpoint(r));
+  }
+  auto results = run_ranks(config, [&](std::size_t r) {
+    return std::move(endpoints[r]);
+  });
+  EXPECT_GT(fabric.simulated_seconds(), 0.0);
+  EXPECT_GT(fabric.total_bytes(), 0.0);
+  return results;
+}
+
+std::vector<dist::WorkerResult> run_over_sockets(
+    const dist::WorkerConfig& config) {
+  std::vector<int> listeners(kWorkers);
+  std::vector<std::uint16_t> ports(kWorkers);
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    listeners[r] = bind_loopback_listener(&ports[r]);
+  }
+  return run_ranks(config, [&](std::size_t r) -> std::unique_ptr<Transport> {
+    std::vector<int> fds = connect_socket_mesh(r, kWorkers, listeners[r],
+                                               {ports.data(), ports.size()});
+    return std::make_unique<SocketTransport>(r, std::move(fds));
+  });
+}
+
+void check_reports(const std::vector<dist::WorkerResult>& results,
+                   const dist::WorkerConfig& config) {
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].rounds.size(), kRounds) << "rank " << r;
+    for (const dist::RoundReport& report : results[r].rounds) {
+      // Round t flushes full precision iff t % K == 0.
+      EXPECT_EQ(report.full_precision,
+                report.round % config.options.full_precision_period == 0);
+      EXPECT_GT(report.predicted_comm_seconds, 0.0);
+      EXPECT_GE(report.measured_comm_seconds, 0.0);
+      EXPECT_GT(report.wire_bits, 0.0);
+    }
+    // A flush round moves 32× the sign bits; the ratio must show up in the
+    // payload accounting of every rank.
+    EXPECT_GT(results[r].rounds[0].wire_bits,
+              8.0 * results[r].rounds[1].wire_bits);
+  }
+}
+
+void run_cross_backend(MarParadigm paradigm) {
+  const dist::WorkerConfig config = worker_config(paradigm);
+  const std::uint64_t oracle = trainer_digest(config);
+
+  const std::vector<dist::WorkerResult> sim = run_over_sim_fabric(config);
+  check_reports(sim, config);
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    EXPECT_EQ(sim[r].param_digest, oracle) << "SimTransport rank " << r;
+  }
+
+  const std::vector<dist::WorkerResult> sockets = run_over_sockets(config);
+  check_reports(sockets, config);
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    EXPECT_EQ(sockets[r].param_digest, oracle) << "SocketTransport rank " << r;
+    // The α–β prediction is deterministic and backend-independent: both
+    // transports replay the same hop schedule through NetworkSim.
+    for (std::size_t t = 0; t < kRounds; ++t) {
+      EXPECT_DOUBLE_EQ(sockets[r].rounds[t].predicted_comm_seconds,
+                       sim[r].rounds[t].predicted_comm_seconds);
+      EXPECT_DOUBLE_EQ(sockets[r].rounds[t].wire_bits,
+                       sim[r].rounds[t].wire_bits);
+    }
+  }
+}
+
+TEST(DistCrossBackendTest, RingDigestsMatchAcrossBackends) {
+  set_log_level(LogLevel::kWarning);
+  run_cross_backend(MarParadigm::kRing);
+}
+
+TEST(DistCrossBackendTest, TorusDigestsMatchAcrossBackends) {
+  set_log_level(LogLevel::kWarning);
+  run_cross_backend(MarParadigm::kTorus2d);
+}
+
+}  // namespace
+}  // namespace marsit

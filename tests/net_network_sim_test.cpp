@@ -292,6 +292,46 @@ TEST(NetworkSimFaultTest, CorruptionRetriesWithBackoffAndCountsBits) {
   EXPECT_DOUBLE_EQ(net.total_bytes(), 4.0 * 104.0);
 }
 
+TEST(NetworkSimFaultTest, LossAndCorruptionRetryPathsChargeIdentically) {
+  // ISSUE satellite: both retry loops route through one engine, so an
+  // identical (seed, attempts) draw must charge identical retransmitted
+  // bytes and elapsed time — the only corruption-path difference is the
+  // CRC footer riding on every attempt.
+  FaultPlan loss;
+  loss.seed = 99;
+  loss.packet_loss = 0.6;
+  loss.max_retries = 6;
+  loss.retry_timeout = 1.0;
+  loss.retry_backoff = 2.0;
+  FaultPlan corruption = loss;
+  corruption.packet_loss = 0.0;
+  corruption.corruption_rate = 0.6;
+  std::size_t rounds_with_retries = 0;
+  for (std::size_t round = 0; round < 12; ++round) {
+    NetworkSim a(2, simple_model());
+    a.set_fault_plan(&loss);
+    a.begin_round(round);
+    NetworkSim b(2, simple_model());
+    b.set_fault_plan(&corruption);
+    b.begin_round(round);
+    const double end_loss = a.transfer(0, 1, 100.0, 0.0);
+    const double end_corruption = b.transfer(0, 1, 100.0, 0.0);
+    // Same seed and rate => the same Bernoulli draws => the same attempts.
+    ASSERT_EQ(a.retransmissions(), b.retransmissions());
+    const double r = static_cast<double>(a.retransmissions());
+    rounds_with_retries += a.retransmissions() > 0 ? 1 : 0;
+    // Elapsed: equal timeouts, plus one footer serialization on delivery
+    // (NEAR: the backoff sums are rounded differently before subtracting).
+    EXPECT_NEAR(end_corruption - end_loss, kCrcFooterBytes / 100.0, 1e-9);
+    // Retransmitted bytes: equal payload burn, plus a footer per attempt.
+    EXPECT_DOUBLE_EQ(b.retransmitted_bytes() - a.retransmitted_bytes(),
+                     r * kCrcFooterBytes);
+    EXPECT_DOUBLE_EQ(b.total_bytes() - a.total_bytes(),
+                     (r + 1.0) * kCrcFooterBytes);
+  }
+  EXPECT_GT(rounds_with_retries, 0u) << "the sweep never drew a retry";
+}
+
 TEST(NetworkSimFaultTest, CorruptionRateValidated) {
   const auto attach = [](const FaultPlan& plan) {
     NetworkSim net(2, simple_model());

@@ -442,6 +442,75 @@ TEST(ObsEndToEndTest, TrainerSessionMeetsAcceptanceContract) {
   registry.reset();
 }
 
+TEST(ObsEndToEndTest, CorruptionRunWireBitsStreamSumsToTotal) {
+  // ISSUE satellite: under a corruption plan every message grows by the
+  // CRC footer, and that charge must land exactly once — the per-round
+  // JSONL stream still sums bit-for-bit to TrainResult::total_wire_bits,
+  // and the footer-inflated total stays above the fault-free payload.
+  set_log_level(LogLevel::kError);
+  TraceSession session;
+  TraceSession::install(&session);
+
+  SyntheticDigits digits;
+  SyncConfig sync_config;
+  sync_config.num_workers = 4;
+  sync_config.paradigm = MarParadigm::kRing;
+  sync_config.seed = 7;
+  sync_config.fault_plan.corruption_rate = 0.2;
+  sync_config.fault_plan.retry_timeout = 0.01;
+  MarsitSync strategy(sync_config, MarsitOptions{});
+  TrainerConfig config;
+  config.rounds = 6;
+  config.eval_interval = 0;
+  config.eval_samples = 64;
+  auto factory = [&digits] {
+    return make_mlp(digits.sample_size(), {16}, digits.num_classes());
+  };
+  DistributedTrainer trainer(digits, factory, strategy, config);
+  const TrainResult result = trainer.train();
+  TraceSession::install(nullptr);
+
+  const std::vector<RoundRecord> records = session.rounds();
+  ASSERT_EQ(records.size(), result.rounds_completed);
+  double wire_bits = 0.0;
+  double retransmitted = 0.0;
+  for (const RoundRecord& record : records) {
+    for (const auto& [key, value] : record.fields) {
+      if (key == "wire_bits") {
+        wire_bits += value;
+      } else if (key == "retransmitted_wire_bits") {
+        retransmitted += value;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(wire_bits, result.total_wire_bits);
+  EXPECT_DOUBLE_EQ(retransmitted, result.total_retransmitted_wire_bits);
+
+  // Footer-exactly-once pin: at a vanishing corruption rate no retry or
+  // demotion ever draws, so the whole-run total is the fault-free payload
+  // plus exactly one 32-bit footer per message — 2(M−1)·M ring messages
+  // per round.
+  SyncConfig clean_config = sync_config;
+  clean_config.fault_plan = FaultPlan{};
+  MarsitSync clean_strategy(clean_config, MarsitOptions{});
+  DistributedTrainer clean_trainer(digits, factory, clean_strategy, config);
+  const TrainResult clean = clean_trainer.train();
+
+  SyncConfig tiny_config = sync_config;
+  tiny_config.fault_plan = FaultPlan{};
+  tiny_config.fault_plan.corruption_rate = 1e-12;
+  tiny_config.fault_plan.retry_timeout = 0.01;
+  MarsitSync tiny_strategy(tiny_config, MarsitOptions{});
+  DistributedTrainer tiny_trainer(digits, factory, tiny_strategy, config);
+  const TrainResult tiny = tiny_trainer.train();
+  const double messages_per_round = 2.0 * 3.0 * 4.0;
+  EXPECT_DOUBLE_EQ(tiny.total_wire_bits,
+                   clean.total_wire_bits +
+                       32.0 * messages_per_round *
+                           static_cast<double>(clean.rounds_completed));
+  EXPECT_DOUBLE_EQ(tiny.total_retransmitted_wire_bits, 0.0);
+}
+
 TEST(ObsEndToEndTest, DisabledRunRecordsNothing) {
   set_log_level(LogLevel::kError);
   auto& registry = MetricsRegistry::global();

@@ -65,4 +65,13 @@ void one_bit_fold_into(std::vector<BitVector>& signs, Rng& rng) {
   }
 }
 
+std::uint64_t segment_fold_seed(std::uint64_t round_seed,
+                                std::uint64_t segment_index) {
+  return derive_seed(round_seed, segment_index);
+}
+
+Rng segment_op_rng(std::uint64_t segment_seed, std::uint64_t op_index) {
+  return Rng(derive_seed(segment_seed, op_index));
+}
+
 }  // namespace marsit

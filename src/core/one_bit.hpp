@@ -67,4 +67,29 @@ BitVector one_bit_fold(const std::vector<BitVector>& signs, Rng& rng);
 /// Bit-identical to one_bit_fold at equal seeds.
 void one_bit_fold_into(std::vector<BitVector>& signs, Rng& rng);
 
+// --- Segment seeding ---------------------------------------------------
+//
+// `bernoulli_word` consumes a *variable* number of raw generator words per
+// call (bit-plane rejection, ~8 on average), so a single sequential stream
+// cannot be fast-forwarded to "the rng state at segment s, hop k".  That is
+// what forced PR 7's socket worker to all-gather and fold locally.  The
+// segment-seeded discipline removes the sequential dependency: every
+// (segment, fold-op) pair gets its own short-lived generator,
+//
+//   segment_seed = segment_fold_seed(round_seed, segment_index)
+//   op rng       = segment_op_rng(segment_seed, op_index)
+//
+// so any rank can fold any segment's k-th ⊙ without replaying anyone
+// else's draws.  All ranks that fold the same (segment, op) pair produce
+// identical words — the property the reduce-scatter digests rely on.
+
+/// Seed for one word-segment's fold chain within a round.
+std::uint64_t segment_fold_seed(std::uint64_t round_seed,
+                                std::uint64_t segment_index);
+
+/// Fresh generator for the op_index-th ⊙ applied to a segment's chain.
+/// One generator per op (not per segment) keeps the draw sequence
+/// independent of how many words earlier ops consumed.
+Rng segment_op_rng(std::uint64_t segment_seed, std::uint64_t op_index);
+
 }  // namespace marsit

@@ -1,0 +1,109 @@
+// Segment-seeded ⊙ folds — the reduce-scatter form of Marsit's reduction.
+//
+// The legacy fold (marsit_fold_signs_words) consumes ONE sequential rng
+// stream, which forces whoever folds to see every hop's draws in order.  On
+// a real wire that means all-gather-and-fold-locally: M(M−1)·D bits instead
+// of the paper's 2(M−1)·D.  The folds in this header remove the sequential
+// dependency by giving every (segment, fold-op) pair its own derived
+// generator (core/one_bit.hpp: segment_fold_seed / segment_op_rng), so a
+// rank can fold exactly the segments it owns in a reduce-scatter schedule
+// while all other ranks — and the single-process trainer emulating them —
+// reproduce the identical aggregate bit-for-bit.
+//
+// Each fold here is the trainer-side (single-process) replay of a concrete
+// wire schedule run by src/dist/worker.cpp over a Transport:
+//
+//   segmented_ring_fold   ring reduce-scatter: W words split into `count`
+//                         segments; segment s's chain starts at rank s and
+//                         its op k folds at rank (s+k+1) mod count, merging
+//                         the arriving partial (weight k+1) with that rank's
+//                         local signs (weight 1).
+//   segmented_torus_fold  two-level reduce-scatter: row rings over `cols`
+//                         segments, then column rings over `rows`
+//                         sub-segments, with whole-row weights (multiples of
+//                         cols) in the column phase.
+//   segmented_chain_fold  parameter server: the server folds workers in rank
+//                         order over one whole-payload segment.
+//   segmented_tree_fold   binomial tree: the legacy merge enumeration with a
+//                         per-merge op ordinal (tree_merge_schedule).
+//
+// All folds leave the final aggregate in signs.front() (the local image of
+// the all-gather phase), matching marsit_fold_signs_words' convention, and
+// all are order-independent across segments: chains write disjoint
+// (vector, word-range) pairs and never read a range another chain writes.
+//
+// The statistical contract — both Eq. 2 branches unbiased for every segment
+// split — is proven in tests/core_one_bit_stat_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "compress/bit_vector.hpp"
+#include "core/sync_strategy.hpp"
+
+namespace marsit {
+
+/// One word-aligned segment of a reduce-scatter partition.
+struct WordSegment {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
+/// Deterministic partition of `num_words` words into `parts` segments: the
+/// first (num_words mod parts) segments get one extra word.  Segments may be
+/// empty when num_words < parts; empty segments cost no wire bytes and no
+/// rng.  Every backend derives ownership from this single function.
+WordSegment word_segment(std::size_t num_words, std::size_t parts,
+                         std::size_t index);
+
+/// One merge of the binomial-tree reduction: `src`'s aggregate (weight
+/// src_weight) folds into `dst`'s (weight dst_weight), as the op-th ⊙ of the
+/// round (rng = segment_op_rng(segment_fold_seed(seed, 0), op)).
+struct TreeMerge {
+  std::size_t dst = 0;
+  std::size_t src = 0;
+  std::size_t dst_weight = 0;
+  std::size_t src_weight = 0;
+  std::size_t op = 0;
+};
+
+/// The canonical merge order of the binomial tree over `count` ranks —
+/// exactly the legacy kTree enumeration (stride doubling, ascending dst)
+/// with a running op ordinal.  Both the trainer fold and the distributed
+/// worker replay this schedule so their rng draws line up.
+std::vector<TreeMerge> tree_merge_schedule(std::size_t count);
+
+/// Ring reduce-scatter fold of the first `count` sign vectors' leading
+/// `num_words` words.  Aggregate lands in signs.front().
+void segmented_ring_fold(std::vector<BitVector>& signs, std::size_t count,
+                         std::size_t num_words, std::uint64_t round_seed);
+
+/// Torus reduce-scatter fold (requires rows*cols == count).  Segment seeds:
+/// the row phase uses id r·cols + j for (row r, segment j); the column phase
+/// uses id count + c·rows + i for (column c, sub-segment i).
+void segmented_torus_fold(std::vector<BitVector>& signs, std::size_t count,
+                          std::size_t rows, std::size_t cols,
+                          std::size_t num_words, std::uint64_t round_seed);
+
+/// Parameter-server fold: chain in rank order over one whole-payload
+/// segment (segment id 0), one derived generator per hop.
+void segmented_chain_fold(std::vector<BitVector>& signs, std::size_t count,
+                          std::size_t num_words, std::uint64_t round_seed);
+
+/// Binomial-tree fold following tree_merge_schedule(count).
+void segmented_tree_fold(std::vector<BitVector>& signs, std::size_t count,
+                         std::size_t num_words, std::uint64_t round_seed);
+
+/// Paradigm dispatcher for SyncMode::kReduceScatter rounds — the
+/// segment-seeded counterpart of marsit_fold_signs_words.  A torus whose
+/// membership no longer tiles rows×cols falls back to the segmented ring
+/// over the survivors (the same degradation rule the wire schedule uses).
+void marsit_fold_signs_segmented(MarParadigm paradigm, std::size_t torus_rows,
+                                 std::size_t torus_cols,
+                                 std::vector<BitVector>& signs,
+                                 std::size_t count, std::size_t num_words,
+                                 std::uint64_t round_seed);
+
+}  // namespace marsit

@@ -6,6 +6,7 @@
 #include "compress/kernels.hpp"
 #include "compress/sign_codec.hpp"
 #include "core/one_bit.hpp"
+#include "core/segmented_fold.hpp"
 #include "net/crc32.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +29,16 @@ const char* mar_paradigm_name(MarParadigm paradigm) {
       return "PS";
     case MarParadigm::kTree:
       return "TREE";
+  }
+  return "?";
+}
+
+const char* sync_mode_name(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kLegacyAllGather:
+      return "all-gather";
+    case SyncMode::kReduceScatter:
+      return "reduce-scatter";
   }
   return "?";
 }
@@ -811,8 +822,10 @@ SyncStepResult CascadingSync::do_synchronize(const WorkerSpans& inputs,
 
 MarsitSync::MarsitSync(SyncConfig config, MarsitOptions options)
     : SyncStrategy(config), options_(options) {
-  MARSIT_CHECK(config_.paradigm != MarParadigm::kParameterServer)
-      << "Marsit is a multi-hop all-reduce framework; use ring or torus";
+  // All four paradigms are supported: ring and torus are the paper's
+  // multi-hop schedules; the parameter server (server colocated at rank 0)
+  // and binomial tree exist as comparison baselines with the same ⊙ fold
+  // semantics, so the cross-backend conformance matrix can cover them.
   MARSIT_CHECK(options_.eta_s > 0.0f) << "Marsit needs a positive eta_s";
 }
 
@@ -1012,51 +1025,63 @@ SyncStepResult MarsitSync::do_synchronize(const WorkerSpans& inputs,
   // unpacks/compensates.  Sign packing consumes no rng, so creating the
   // chunk's stream at the head of the fold stage draws exactly the values
   // the old single-loop body drew — outputs stay bit-identical.
-  const PipelineStage stages[] = {
-      // Line 1 of Algorithm 1: fold the compensation into the update and
-      // pack the signs, per survivor.
-      {[&](std::size_t c, ScratchArena& /*arena*/) {
-        const Shard shard = plan.chunk(c);
-        const std::size_t n = shard.size();
-        const std::size_t w0 = shard.word_begin();
-        const std::size_t nw = shard.num_words();
-        for (std::size_t i = 0; i < s; ++i) {
-          const std::size_t w = active[i];
-          const auto adjusted_chunk =
-              adjusted_[w].span().subspan(shard.begin, n);
-          add(inputs[w].subspan(shard.begin, n),
-              compensation_[w].span().subspan(shard.begin, n),
-              adjusted_chunk);
-          kernels::pack_signs_words(adjusted_chunk,
-                                    signs_[i].words().subspan(w0, nw));
-        }
-      }},
-      // Lines 4–8: the ⊙ reduction, in place over this chunk's words, with
-      // the chunk's own rng stream.
-      {[&](std::size_t c, ScratchArena& /*arena*/) {
-        const Shard shard = plan.chunk(c);
-        Rng rng = marsit_chunk_rng(round_seed, c);
-        fold_signs_words(signs_, s, shard.word_begin(), shard.num_words(),
-                         rng);
-      }},
-      // Lines 9–10: g_t = eta_s · sign-vector; c_{t+1}^{(m)} = g_t^{(m)} − g_t.
-      {[&](std::size_t c, ScratchArena& /*arena*/) {
-        const Shard shard = plan.chunk(c);
-        const std::size_t n = shard.size();
-        const auto out_chunk = out.subspan(shard.begin, n);
-        kernels::unpack_signs_words(
-            signs_.front().words().subspan(shard.word_begin(),
-                                           shard.num_words()),
-            options_.eta_s, out_chunk);
-        if (options_.use_compensation) {
-          for (const std::size_t w : active) {
-            sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
-                compensation_[w].span().subspan(shard.begin, n));
-          }
-        }
-      }},
-  };
-  run_chunk_pipeline(strategy_pool(config_), plan.num_chunks(), stages);
+  // Line 1 of Algorithm 1: fold the compensation into the update and
+  // pack the signs, per survivor.
+  const PipelineStage pack_stage{[&](std::size_t c, ScratchArena& /*arena*/) {
+    const Shard shard = plan.chunk(c);
+    const std::size_t n = shard.size();
+    const std::size_t w0 = shard.word_begin();
+    const std::size_t nw = shard.num_words();
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t w = active[i];
+      const auto adjusted_chunk = adjusted_[w].span().subspan(shard.begin, n);
+      add(inputs[w].subspan(shard.begin, n),
+          compensation_[w].span().subspan(shard.begin, n), adjusted_chunk);
+      kernels::pack_signs_words(adjusted_chunk,
+                                signs_[i].words().subspan(w0, nw));
+    }
+  }};
+  // Lines 4–8 (legacy mode): the ⊙ reduction, in place over this chunk's
+  // words, with the chunk's own rng stream.
+  const PipelineStage fold_stage{[&](std::size_t c, ScratchArena& /*arena*/) {
+    const Shard shard = plan.chunk(c);
+    Rng rng = marsit_chunk_rng(round_seed, c);
+    fold_signs_words(signs_, s, shard.word_begin(), shard.num_words(), rng);
+  }};
+  // Lines 9–10: g_t = eta_s · sign-vector; c_{t+1}^{(m)} = g_t^{(m)} − g_t.
+  const PipelineStage unpack_stage{[&](std::size_t c,
+                                       ScratchArena& /*arena*/) {
+    const Shard shard = plan.chunk(c);
+    const std::size_t n = shard.size();
+    const auto out_chunk = out.subspan(shard.begin, n);
+    kernels::unpack_signs_words(
+        signs_.front().words().subspan(shard.word_begin(),
+                                       shard.num_words()),
+        options_.eta_s, out_chunk);
+    if (options_.use_compensation) {
+      for (const std::size_t w : active) {
+        sub(adjusted_[w].span().subspan(shard.begin, n), out_chunk,
+            compensation_[w].span().subspan(shard.begin, n));
+      }
+    }
+  }};
+  if (config_.sync_mode == SyncMode::kReduceScatter) {
+    // Reduce-scatter rounds keep the pack and unpack stages chunk-parallel
+    // (they consume no rng), but fold once over the full word range: the
+    // segment-seeded chains partition the words by fabric segment — the
+    // reduce-scatter ownership grid — not by shard chunk.
+    const PipelineStage pack_only[] = {pack_stage};
+    run_chunk_pipeline(strategy_pool(config_), plan.num_chunks(), pack_only);
+    marsit_fold_signs_segmented(config_.paradigm, config_.torus_rows,
+                                config_.torus_cols, signs_, s,
+                                signs_.front().words().size(), round_seed);
+    const PipelineStage unpack_only[] = {unpack_stage};
+    run_chunk_pipeline(strategy_pool(config_), plan.num_chunks(),
+                       unpack_only);
+  } else {
+    const PipelineStage stages[] = {pack_stage, fold_stage, unpack_stage};
+    run_chunk_pipeline(strategy_pool(config_), plan.num_chunks(), stages);
+  }
 
   result.timing = mar_timing(d, marsit_wire(config_.cost_model),
                              &result.chunk_stages);

@@ -41,12 +41,37 @@ enum class MarParadigm { kRing, kTorus2d, kParameterServer, kTree };
 
 const char* mar_paradigm_name(MarParadigm paradigm);
 
+/// How a one-bit Marsit round traverses the fabric.
+///
+///   kLegacyAllGather  every rank gathers all M sign vectors and folds
+///                     locally along ONE sequential rng stream
+///                     (marsit_chunk_rng) — M(M−1)·D bits on a real wire.
+///                     This is the historical mode and reproduces the
+///                     committed goldens byte-for-byte.
+///   kReduceScatter    the paper's schedule: per-segment independently
+///                     seeded fold chains (core/segmented_fold.hpp) let each
+///                     rank fold only the segments it owns, so the wire
+///                     carries 2(M−1)·D bits.  Digests differ from legacy
+///                     mode (different rng discipline) but are identical
+///                     across trainer / simulator / socket backends.
+///
+/// Full-precision flush rounds use the all-gather data plane in BOTH modes:
+/// float summation is order-sensitive, so the flush keeps the single
+/// local-mean ordering everywhere.
+enum class SyncMode { kLegacyAllGather, kReduceScatter };
+
+const char* sync_mode_name(SyncMode mode);
+
 struct SyncConfig {
   std::size_t num_workers = 0;
   MarParadigm paradigm = MarParadigm::kRing;
   /// Required when paradigm == kTorus2d; rows*cols must equal num_workers.
   std::size_t torus_rows = 0;
   std::size_t torus_cols = 0;
+  /// One-bit round data plane + rng discipline (see SyncMode).  Part of the
+  /// deterministic geometry: changing it changes the fold's rng streams, so
+  /// digests are only comparable between runs with equal modes.
+  SyncMode sync_mode = SyncMode::kLegacyAllGather;
   CostModel cost_model;
   std::uint64_t seed = 1;
   /// Sign-sum baselines: Elias-γ recode the growing messages (the paper

@@ -3,22 +3,39 @@
 //
 // Each rank owns a full model replica and runs the exact per-round math of
 // DistributedTrainer + MarsitSync: same sampler streams (sim/trainer.hpp's
-// public seed salts), same local-optimizer transform, same ⊙ reduction
-// (core/sync_strategy.hpp's marsit_fold_signs_words with
-// marsit_chunk_rng's streams).  A run over SimTransport or SocketTransport
-// therefore finishes with parameters bit-identical to the simulator's —
-// the cross-backend determinism contract tests/dist_cross_backend_test
-// pins via FNV-1a param digests.
+// public seed salts), same local-optimizer transform, same ⊙ reduction.  A
+// run over SimTransport or SocketTransport therefore finishes with
+// parameters bit-identical to the simulator's — the cross-backend
+// determinism contract tests/dist_cross_backend_test pins via FNV-1a param
+// digests.
 //
-// Data plane vs the simulator's wire accounting: the weighted ⊙ fold
-// consumes one rng stream sequentially, so it cannot be distributed
-// across hops without replaying that stream everywhere anyway.  The
-// worker therefore all-gathers the packed sign words along the
-// paradigm's topology (ring; or rows-then-columns on the torus) and every
-// rank runs the identical fold locally — M(M−1)·D sign bits on the wire
-// where the simulator prices the paper's 2(M−1)·D all-reduce.  Same
-// schedule shape, same aggregate, more bytes; the α–β prediction reported
-// per round prices what this backend actually sends.
+// Two data planes carry one-bit rounds (WorkerConfig::sync_mode):
+//
+//   SyncMode::kLegacyAllGather  all ranks gather every sign vector along the
+//     topology and run the identical sequential-stream fold locally
+//     (marsit_fold_signs_words with marsit_chunk_rng) — M(M−1)·D sign bits
+//     on the wire.  Kept for golden compatibility.
+//
+//   SyncMode::kReduceScatter  the paper's schedule at the paper's wire
+//     volume: per-segment independently seeded fold chains
+//     (core/segmented_fold.hpp) let each rank fold only the segments it
+//     owns, so a ring round moves exactly 2(M−1)·D sign bits — reduce-
+//     scatter then all-gather.  The torus runs the same two phases per
+//     dimension (row RS, column RS, column AG, row AG); the parameter
+//     server folds at a colocated rank-0 server and broadcasts; the
+//     binomial tree reduces up and broadcasts down.  All four total
+//     2(M−1)·D payload bits per one-bit round.
+//
+// Full-precision flush rounds use the all-gather plane in both modes (float
+// summation is order-sensitive, so the flush keeps the single local-mean
+// ordering everywhere); for the PS and tree paradigms the all-gather plane
+// routes over the ring — the fold structure, not the gather route, is what
+// distinguishes those paradigms' aggregates.
+//
+// The α–β prediction reported per round replays the exact hop schedule this
+// backend ran on a fresh NetworkSim, so RoundReport::total_wire_bits equals
+// the sum of every rank's measured payload bits bit-for-bit — the invariant
+// tests/dist_wire_volume_test pins.
 #pragma once
 
 #include <cstddef>
@@ -47,15 +64,19 @@ struct WorkerConfig {
   /// simulator run this worker must match.
   std::uint64_t trainer_seed = 7;
   std::uint64_t sync_seed = 7;
-  /// kRing or kTorus2d (the transports are peer meshes; the parameter
-  /// server and tree schedules are simulator-only for now).
+  /// Any of kRing / kTorus2d / kParameterServer / kTree.
   MarParadigm paradigm = MarParadigm::kRing;
   std::size_t torus_rows = 0;
   std::size_t torus_cols = 0;
+  /// One-bit data plane + rng discipline; must match the simulator run being
+  /// compared against (SyncConfig::sync_mode — the fold's rng streams differ
+  /// between modes).
+  SyncMode sync_mode = SyncMode::kLegacyAllGather;
   MarsitOptions options;
-  /// SyncConfig::shard_chunk_elements — the fold's chunk grid.  Must match
-  /// the simulator run being compared against (the per-chunk rng streams
-  /// depend on it); the default is SyncConfig's default.
+  /// SyncConfig::shard_chunk_elements — the legacy fold's chunk grid.  Must
+  /// match the simulator run being compared against (the per-chunk rng
+  /// streams depend on it); the default is SyncConfig's default.  Unused by
+  /// reduce-scatter rounds, whose rng grid is the fabric segment partition.
   std::size_t shard_chunk_elements = std::size_t{1} << 16;
   /// Prices the per-round α–β prediction reported next to measured
   /// wall-clock.
@@ -72,6 +93,11 @@ struct RoundReport {
   double predicted_comm_seconds = 0.0;
   /// Payload bits this rank put on the wire this round.
   double wire_bits = 0.0;
+  /// Payload bits ALL ranks put on the wire this round, from the same
+  /// NetworkSim replay as predicted_comm_seconds.  Identical on every rank
+  /// and bit-for-bit equal to the sum of per-rank wire_bits: 2(M−1)·D sign
+  /// bits on reduce-scatter one-bit rounds, M(M−1)·D on legacy ones.
+  double total_wire_bits = 0.0;
 };
 
 struct WorkerResult {

@@ -80,6 +80,13 @@ SocketTransport::~SocketTransport() {
     if (conn == nullptr) {
       continue;
     }
+    // Let the reader finish acking anything it has already mailboxed —
+    // a peer may still be blocked in send() on that ack.
+    {
+      std::unique_lock<std::mutex> lock(conn->mutex);
+      conn->cv.wait(lock,
+                    [&] { return conn->acks_pending == 0 || conn->closed; });
+    }
     // Wake the reader out of its blocking read; it marks the connection
     // closed and exits.
     ::shutdown(conn->fd, SHUT_RDWR);
@@ -148,11 +155,22 @@ void SocketTransport::reader_loop(Connection& conn) {
     {
       const std::lock_guard<std::mutex> lock(conn.mutex);
       conn.mailbox[frame.tag].push_back(std::move(frame.payload));
+      ++conn.acks_pending;
     }
     conn.cv.notify_all();
-    const std::vector<std::uint8_t> ack = encode_frame(kAckMagic, frame.tag, {});
-    const std::lock_guard<std::mutex> lock(conn.write_mutex);
-    if (!write_all(conn.fd, ack.data(), ack.size())) {
+    bool acked = false;
+    {
+      const std::lock_guard<std::mutex> lock(conn.write_mutex);
+      const std::vector<std::uint8_t> ack =
+          encode_frame(kAckMagic, frame.tag, {});
+      acked = write_all(conn.fd, ack.data(), ack.size());
+    }
+    {
+      const std::lock_guard<std::mutex> lock(conn.mutex);
+      --conn.acks_pending;
+    }
+    conn.cv.notify_all();
+    if (!acked) {
       error = "peer vanished before ack";
       break;
     }
@@ -178,6 +196,8 @@ void SocketTransport::send(std::size_t peer, std::uint32_t tag,
     const std::lock_guard<std::mutex> state(conn.mutex);
     seq = ++conn.sent;
   }
+  payload_bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  data_frames_sent_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(conn.mutex);
   conn.cv.wait(lock, [&] { return conn.acks >= seq || conn.closed; });
   MARSIT_CHECK(conn.acks >= seq)
@@ -204,25 +224,41 @@ std::vector<std::uint8_t> SocketTransport::recv(std::size_t peer,
 }
 
 int bind_loopback_listener(std::uint16_t* port_out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
-  const int one = 1;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // OS-assigned
-  MARSIT_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
-                      sizeof(addr)) == 0)
-      << "bind(): " << std::strerror(errno);
-  socklen_t len = sizeof(addr);
-  MARSIT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) ==
-               0)
-      << "getsockname(): " << std::strerror(errno);
-  MARSIT_CHECK(::listen(fd, SOMAXCONN) == 0)
-      << "listen(): " << std::strerror(errno);
-  *port_out = ntohs(addr.sin_port);
-  return fd;
+  // Under heavy parallel test load the kernel can transiently refuse even
+  // an OS-assigned port (ephemeral range exhausted by TIME_WAIT churn).
+  // That is a flake, not a bug: retry with exponential backoff.
+  constexpr int kMaxAttempts = 8;
+  constexpr useconds_t kInitialBackoffUs = 10'000;  // 10ms, doubling
+  useconds_t backoff = kInitialBackoffUs;
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // OS-assigned
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const int bind_errno = errno;
+      ::close(fd);
+      MARSIT_CHECK(bind_errno == EADDRINUSE && attempt + 1 < kMaxAttempts)
+          << "bind(): " << std::strerror(bind_errno) << " (attempt "
+          << attempt + 1 << "/" << kMaxAttempts << ")";
+      ::usleep(backoff);
+      backoff *= 2;
+      continue;
+    }
+    socklen_t len = sizeof(addr);
+    MARSIT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0)
+        << "getsockname(): " << std::strerror(errno);
+    MARSIT_CHECK(::listen(fd, SOMAXCONN) == 0)
+        << "listen(): " << std::strerror(errno);
+    *port_out = ntohs(addr.sin_port);
+    return fd;
+  }
 }
 
 std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,

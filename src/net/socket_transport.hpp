@@ -19,6 +19,7 @@
 // schedules impose a total order per stream via tags.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -53,6 +54,19 @@ class SocketTransport final : public Transport {
             std::span<const std::uint8_t> payload) override;
   std::vector<std::uint8_t> recv(std::size_t peer, std::uint32_t tag) override;
 
+  /// Payload bytes this endpoint has send()t so far (frame headers, CRC
+  /// footers and acks excluded).  With the frame overhead formula —
+  /// data_frames_sent() · (kFrameHeaderBytes + kFrameFooterBytes) — tests
+  /// can pin the exact number of bytes written to the wire
+  /// (tests/dist_wire_volume_test).
+  std::uint64_t payload_bytes_sent() const {
+    return payload_bytes_sent_.load(std::memory_order_relaxed);
+  }
+  /// Data frames this endpoint has send()t so far (acks excluded).
+  std::uint64_t data_frames_sent() const {
+    return data_frames_sent_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -63,6 +77,12 @@ class SocketTransport final : public Transport {
     std::map<std::uint32_t, std::deque<std::vector<std::uint8_t>>> mailbox;
     std::size_t acks = 0;  // data frames the peer has acknowledged
     std::size_t sent = 0;  // data frames written to the peer
+    /// Frames mailboxed but not yet acked by our reader.  The destructor
+    /// waits for this to drain before shutting the socket down: the final
+    /// recv() of a run can return (and the whole endpoint destruct) while
+    /// the reader is still between the mailbox push and the ack write, and
+    /// shutting down in that window would strand the peer's blocked send().
+    std::size_t acks_pending = 0;
     bool closed = false;
     std::string error;  // first framing/IO failure, re-thrown at callers
   };
@@ -72,10 +92,14 @@ class SocketTransport final : public Transport {
 
   std::size_t rank_;
   std::vector<std::unique_ptr<Connection>> connections_;  // [peer], self null
+  std::atomic<std::uint64_t> payload_bytes_sent_{0};
+  std::atomic<std::uint64_t> data_frames_sent_{0};
 };
 
 /// Binds a listening TCP socket on 127.0.0.1 with an OS-assigned port
-/// (written to *port_out).  Returns the listening fd.
+/// (written to *port_out).  Returns the listening fd.  Transient
+/// EADDRINUSE (ephemeral-port churn under parallel test load) is retried
+/// with exponential backoff before giving up.
 int bind_loopback_listener(std::uint16_t* port_out);
 
 /// Builds rank's side of the full mesh: connects to every lower rank's

@@ -9,7 +9,11 @@
 //     (m−1)/m; the local worker wins w.p. 1/m);
 //   * end-to-end unbiasedness of the full ring chain fold and the
 //     ragged-torus fold (the degraded-membership shape from
-//     MarsitSync::fold_signs_words) against the exact mean sign.
+//     MarsitSync::fold_signs_words) against the exact mean sign;
+//   * the same two families with the fold split across independently
+//     seeded segments (core/one_bit.hpp's segment_fold_seed /
+//     segment_op_rng — the reduce-scatter rng discipline), at segment
+//     counts {1, 2, 7, 64}, including the production segmented_ring_fold.
 //
 // Every check is seeded and thresholded so loosely (|z| < 5.5, p > 1e−7)
 // that a correct implementation fails with probability < 1e−6 per run —
@@ -24,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/segmented_fold.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -97,6 +102,86 @@ TEST(OneBitStatTest, LocalWorkerBranchMatchesEq2AcrossHops) {
   check_disagreement_branch(/*a_is_one=*/false, /*salt=*/0xa002);
 }
 
+/// One segment-seeded combine of two fully-disagreeing vectors: the word
+/// range is partitioned into `segments` slices and each slice draws from
+/// its own segment_op_rng stream — exactly the reduce-scatter rng
+/// discipline, where no rank ever sees another segment's stream.
+std::size_t segmented_disagreement_ones(bool a_value, std::size_t weight_a,
+                                        std::size_t d, int trials,
+                                        std::uint64_t round_seed,
+                                        std::size_t segments) {
+  BitVector a(d), b(d);
+  if (a_value) {
+    a.fill(true);
+  } else {
+    b.fill(true);
+  }
+  const std::size_t num_words = a.words().size();
+  std::size_t ones = 0;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t trial_seed =
+        derive_seed(round_seed, static_cast<std::uint64_t>(t));
+    BitVector acc = a;
+    for (std::size_t s = 0; s < segments; ++s) {
+      const WordSegment seg = word_segment(num_words, segments, s);
+      if (seg.count == 0) {
+        continue;
+      }
+      Rng rng = segment_op_rng(segment_fold_seed(trial_seed, s), 0);
+      one_bit_combine_words(acc.words().subspan(seg.begin, seg.count),
+                            weight_a,
+                            b.words().subspan(seg.begin, seg.count), 1, rng);
+    }
+    ones += acc.popcount();
+  }
+  return ones;
+}
+
+/// Chi-square GOF of the segment-seeded disagreement outcomes across
+/// m ∈ {2..16}, at one segment count.  Splitting the fold across
+/// independent streams must leave both Eq. 2 branch probabilities intact.
+void check_segmented_disagreement_branch(bool a_is_one, std::size_t segments,
+                                         std::uint64_t salt) {
+  const std::size_t d = 64 * 256;  // 256 words: divisible down to 64 slices
+  const int trials = 4;
+  const double n = static_cast<double>(d) * trials;
+  std::vector<std::size_t> observed;
+  std::vector<double> expected;
+  for (std::size_t m = 2; m <= 16; ++m) {
+    const std::uint64_t round_seed =
+        derive_seed(derive_seed(stat_seed(), salt), m);
+    const std::size_t ones = segmented_disagreement_ones(
+        a_is_one, m - 1, d, trials, round_seed, segments);
+    const double p_one =
+        a_is_one ? static_cast<double>(m - 1) / static_cast<double>(m)
+                 : 1.0 / static_cast<double>(m);
+    observed.push_back(ones);
+    observed.push_back(static_cast<std::size_t>(n) - ones);
+    expected.push_back(n * p_one);
+    expected.push_back(n * (1.0 - p_one));
+  }
+  const double statistic = chi_square_statistic(observed, expected);
+  const std::size_t dof = 15;
+  EXPECT_GT(chi_square_p_value(statistic, dof), kMinP)
+      << "Eq. 2 " << (a_is_one ? "(m-1)/m" : "1/m") << " branch over "
+      << segments << " seeded segments failed GOF: chi2=" << statistic
+      << " dof=" << dof;
+}
+
+TEST(OneBitStatTest, AggregateSurvivalBranchUnbiasedAcrossSeededSegments) {
+  std::uint64_t salt = 0xa101;
+  for (const std::size_t segments : {1u, 2u, 7u, 64u}) {
+    check_segmented_disagreement_branch(/*a_is_one=*/true, segments, salt++);
+  }
+}
+
+TEST(OneBitStatTest, LocalWorkerBranchUnbiasedAcrossSeededSegments) {
+  std::uint64_t salt = 0xa201;
+  for (const std::size_t segments : {1u, 2u, 7u, 64u}) {
+    check_segmented_disagreement_branch(/*a_is_one=*/false, segments, salt++);
+  }
+}
+
 /// Element layout for the fold checks: element j of every repetition block
 /// has exactly j of the m workers positive, so the folded bit must be 1
 /// with probability j/m exactly.
@@ -113,15 +198,14 @@ std::vector<BitVector> ladder_signs(std::size_t m, std::size_t reps) {
   return signs;
 }
 
-/// Tallies per-element-class one-counts over repeated folds and z-tests
-/// every class against its exact mean-sign probability j/m.
-void check_fold_unbiased(std::size_t m, std::size_t reps, int trials,
-                         const std::function<BitVector(Rng&)>& fold,
-                         std::uint64_t salt, const char* what) {
+/// Tallies per-element-class one-counts over repeated trial-indexed folds
+/// and z-tests every class against its exact mean-sign probability j/m.
+void check_fold_unbiased_by_trial(
+    std::size_t m, std::size_t reps, int trials,
+    const std::function<BitVector(std::size_t)>& fold, const char* what) {
   std::vector<std::size_t> ones(m + 1, 0);
-  Rng rng(derive_seed(stat_seed(), salt));
   for (int t = 0; t < trials; ++t) {
-    const BitVector folded = fold(rng);
+    const BitVector folded = fold(static_cast<std::size_t>(t));
     for (std::size_t j = 0; j <= m; ++j) {
       for (std::size_t r = 0; r < reps; ++r) {
         ones[j] += folded.get(j * reps + r);
@@ -137,6 +221,16 @@ void check_fold_unbiased(std::size_t m, std::size_t reps, int trials,
         << what << ": element class k=" << j << "/" << m << " biased (freq "
         << static_cast<double>(ones[j]) / static_cast<double>(n) << ")";
   }
+}
+
+/// Single-stream adapter: one Rng drives every trial, as the legacy
+/// all-gather fold does.
+void check_fold_unbiased(std::size_t m, std::size_t reps, int trials,
+                         const std::function<BitVector(Rng&)>& fold,
+                         std::uint64_t salt, const char* what) {
+  Rng rng(derive_seed(stat_seed(), salt));
+  check_fold_unbiased_by_trial(
+      m, reps, trials, [&](std::size_t) { return fold(rng); }, what);
 }
 
 TEST(OneBitStatTest, FullRingFoldIsUnbiasedForMeanSign) {
@@ -222,6 +316,90 @@ TEST(OneBitStatTest, RandomGradientRingFoldMatchesExactMeanSign) {
     EXPECT_LT(std::fabs(binomial_z_score(ones[k], n, p)), kMaxAbsZ)
         << "random-gradient fold biased for k=" << k << "/" << m;
   }
+}
+
+/// Chain-folds the m ladder vectors with the word range split into
+/// `segments` independently seeded slices: segment s's chain runs ops
+/// k = 0..m−2 with segment_op_rng(segment_fold_seed(round_seed, s), k) —
+/// the reduce-scatter discipline at an arbitrary segment count.
+BitVector segmented_chain_fold_trial(const std::vector<BitVector>& signs,
+                                     std::size_t segments,
+                                     std::uint64_t round_seed) {
+  std::vector<BitVector> work = signs;  // fold mutates in place
+  const std::size_t num_words = work[0].words().size();
+  for (std::size_t s = 0; s < segments; ++s) {
+    const WordSegment seg = word_segment(num_words, segments, s);
+    if (seg.count == 0) {
+      continue;
+    }
+    const std::uint64_t segment_seed = segment_fold_seed(round_seed, s);
+    auto slice = work[0].words().subspan(seg.begin, seg.count);
+    for (std::size_t k = 0; k + 1 < work.size(); ++k) {
+      Rng rng = segment_op_rng(segment_seed, k);
+      one_bit_combine_words(slice, k + 1,
+                            work[k + 1].words().subspan(seg.begin, seg.count),
+                            1, rng);
+    }
+  }
+  return work[0];
+}
+
+TEST(OneBitStatTest, SegmentSeededChainFoldIsUnbiasedForMeanSign) {
+  // reps = 512 so the ladder spans (m+1)·512 = 4608 bits = 72 words —
+  // enough for every slice of the 64-segment split to be non-empty.
+  const std::size_t m = 8;
+  const std::size_t reps = 512;
+  const std::vector<BitVector> signs = ladder_signs(m, reps);
+  std::uint64_t salt = 0xb101;
+  for (const std::size_t segments : {1u, 2u, 7u, 64u}) {
+    const std::uint64_t base = derive_seed(stat_seed(), salt++);
+    check_fold_unbiased_by_trial(
+        m, reps, /*trials=*/64,
+        [&signs, segments, base](std::size_t trial) {
+          return segmented_chain_fold_trial(
+              signs, segments, derive_seed(base, trial));
+        },
+        "segment-seeded chain fold");
+  }
+}
+
+TEST(OneBitStatTest, ProductionSegmentedRingFoldIsUnbiasedForMeanSign) {
+  // The exact production path reduce-scatter rounds run in the simulator
+  // (core/segmented_fold.hpp): m rank-owned segments, each chain starting
+  // at its owner rank, result gathered into signs[0].
+  const std::size_t m = 8;
+  const std::size_t reps = 512;
+  const std::vector<BitVector> signs = ladder_signs(m, reps);
+  const std::uint64_t base = derive_seed(stat_seed(), 0xb201);
+  check_fold_unbiased_by_trial(
+      m, reps, /*trials=*/64,
+      [&signs, base](std::size_t trial) {
+        std::vector<BitVector> work = signs;
+        segmented_ring_fold(work, work.size(), work[0].words().size(),
+                            derive_seed(base, trial));
+        return work[0];
+      },
+      "production segmented ring fold");
+}
+
+TEST(OneBitStatTest, ProductionSegmentedTorusFoldIsUnbiasedForMeanSign) {
+  // The four-phase torus reduce-scatter (2×4 shape), again via the exact
+  // production entry point.
+  const std::size_t rows = 2;
+  const std::size_t cols = 4;
+  const std::size_t m = rows * cols;
+  const std::size_t reps = 512;
+  const std::vector<BitVector> signs = ladder_signs(m, reps);
+  const std::uint64_t base = derive_seed(stat_seed(), 0xb202);
+  check_fold_unbiased_by_trial(
+      m, reps, /*trials=*/64,
+      [&signs, rows, cols, base](std::size_t trial) {
+        std::vector<BitVector> work = signs;
+        segmented_torus_fold(work, work.size(), rows, cols,
+                             work[0].words().size(), derive_seed(base, trial));
+        return work[0];
+      },
+      "production segmented torus fold");
 }
 
 }  // namespace

@@ -210,11 +210,19 @@ TEST(CascadingSyncTest, RingOnlyAndFinite) {
   EXPECT_DOUBLE_EQ(step.bits_per_element, 1.0);
 }
 
-TEST(MarsitSyncTest, RejectsPsParadigm) {
-  SyncConfig ps = ring_config(2);
+TEST(MarsitSyncTest, AcceptsPsParadigm) {
+  // Once ring-or-torus only; the parameter server (server colocated at
+  // rank 0) is now a supported comparison baseline with the same ⊙ fold
+  // semantics, so the cross-backend conformance matrix can cover it.
+  SyncConfig ps = ring_config(4);
   ps.paradigm = MarParadigm::kParameterServer;
   MarsitOptions options;
-  EXPECT_THROW(MarsitSync(ps, options), CheckError);
+  MarsitSync sync(ps, options);
+  auto inputs = random_inputs(4, 128, 8);
+  Tensor out(128);
+  const auto step = sync.synchronize(spans_of(inputs), out.span());
+  EXPECT_TRUE(all_finite(out.span()));
+  EXPECT_GT(l2_norm(out.span()), 0.0f);
 }
 
 TEST(MarsitSyncTest, OneBitRoundOutputsScaledSigns) {

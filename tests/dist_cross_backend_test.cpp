@@ -1,8 +1,13 @@
-// The cross-backend determinism contract (DESIGN.md §14): one seed, three
-// executions — the simulator (DistributedTrainer + MarsitSync), the
-// distributed worker over SimTransport, and the distributed worker over
-// real loopback sockets — and every rank of every backend must finish with
-// bit-identical parameters, witnessed by FNV-1a digests.
+// The cross-backend determinism contract (DESIGN.md §14) as a conformance
+// matrix: {ring, 2×2 / 2×4 torus, parameter server, binomial tree} ×
+// {legacy all-gather, reduce-scatter} × {4, 8 ranks}.  For every cell, one
+// seed drives three executions — the simulator (DistributedTrainer +
+// MarsitSync), the distributed worker over SimTransport, and the
+// distributed worker over real loopback sockets — and every rank of every
+// backend must finish with bit-identical parameters, witnessed by FNV-1a
+// digests.  The α–β predictions and wire accounting must also agree
+// bit-for-bit across the two transport backends, and the per-rank payload
+// bits must sum to the round's total on every backend.
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -24,10 +29,10 @@
 namespace marsit {
 namespace {
 
-constexpr std::size_t kWorkers = 4;
 constexpr std::size_t kRounds = 6;
 
-dist::WorkerConfig worker_config(MarParadigm paradigm) {
+dist::WorkerConfig worker_config(MarParadigm paradigm, SyncMode mode,
+                                 std::size_t world) {
   dist::WorkerConfig config;
   config.batch_size_per_worker = 8;
   config.optimizer = OptimizerKind::kSgd;
@@ -36,9 +41,10 @@ dist::WorkerConfig worker_config(MarParadigm paradigm) {
   config.trainer_seed = 11;
   config.sync_seed = 2022;
   config.paradigm = paradigm;
+  config.sync_mode = mode;
   if (paradigm == MarParadigm::kTorus2d) {
     config.torus_rows = 2;
-    config.torus_cols = 2;
+    config.torus_cols = world / 2;
   }
   config.options.eta_s = 2e-3f;
   config.options.full_precision_period = 3;
@@ -51,14 +57,16 @@ Sequential make_model(const SyntheticDigits& digits) {
 }
 
 /// The oracle: the simulator run every backend must reproduce.
-std::uint64_t trainer_digest(const dist::WorkerConfig& config) {
+std::uint64_t trainer_digest(const dist::WorkerConfig& config,
+                             std::size_t world) {
   SyntheticDigits digits;
   const auto factory = [&digits] { return make_model(digits); };
   SyncConfig sync_config;
-  sync_config.num_workers = kWorkers;
+  sync_config.num_workers = world;
   sync_config.paradigm = config.paradigm;
   sync_config.torus_rows = config.torus_rows;
   sync_config.torus_cols = config.torus_cols;
+  sync_config.sync_mode = config.sync_mode;
   sync_config.seed = config.sync_seed;
   sync_config.shard_chunk_elements = config.shard_chunk_elements;
   MarsitSync strategy(sync_config, config.options);
@@ -78,14 +86,14 @@ std::uint64_t trainer_digest(const dist::WorkerConfig& config) {
   return ckpt::fnv1a(params.span().data(), params.size() * sizeof(float));
 }
 
-/// Runs kWorkers ranks on threads, one transport each, and returns the
+/// Runs `world` ranks on threads, one transport each, and returns the
 /// per-rank results in rank order.
 std::vector<dist::WorkerResult> run_ranks(
-    const dist::WorkerConfig& config,
+    const dist::WorkerConfig& config, std::size_t world,
     const std::function<std::unique_ptr<Transport>(std::size_t)>& make) {
-  std::vector<dist::WorkerResult> results(kWorkers);
+  std::vector<dist::WorkerResult> results(world);
   std::vector<std::thread> ranks;
-  for (std::size_t r = 0; r < kWorkers; ++r) {
+  for (std::size_t r = 0; r < world; ++r) {
     ranks.emplace_back([&, r] {
       SyntheticDigits digits;
       const auto factory = [&digits] { return make_model(digits); };
@@ -101,13 +109,13 @@ std::vector<dist::WorkerResult> run_ranks(
 }
 
 std::vector<dist::WorkerResult> run_over_sim_fabric(
-    const dist::WorkerConfig& config) {
-  SimFabric fabric(kWorkers, config.cost_model);
+    const dist::WorkerConfig& config, std::size_t world) {
+  SimFabric fabric(world, config.cost_model);
   std::vector<std::unique_ptr<Transport>> endpoints;
-  for (std::size_t r = 0; r < kWorkers; ++r) {
+  for (std::size_t r = 0; r < world; ++r) {
     endpoints.push_back(fabric.endpoint(r));
   }
-  auto results = run_ranks(config, [&](std::size_t r) {
+  auto results = run_ranks(config, world, [&](std::size_t r) {
     return std::move(endpoints[r]);
   });
   EXPECT_GT(fabric.simulated_seconds(), 0.0);
@@ -116,14 +124,15 @@ std::vector<dist::WorkerResult> run_over_sim_fabric(
 }
 
 std::vector<dist::WorkerResult> run_over_sockets(
-    const dist::WorkerConfig& config) {
-  std::vector<int> listeners(kWorkers);
-  std::vector<std::uint16_t> ports(kWorkers);
-  for (std::size_t r = 0; r < kWorkers; ++r) {
+    const dist::WorkerConfig& config, std::size_t world) {
+  std::vector<int> listeners(world);
+  std::vector<std::uint16_t> ports(world);
+  for (std::size_t r = 0; r < world; ++r) {
     listeners[r] = bind_loopback_listener(&ports[r]);
   }
-  return run_ranks(config, [&](std::size_t r) -> std::unique_ptr<Transport> {
-    std::vector<int> fds = connect_socket_mesh(r, kWorkers, listeners[r],
+  return run_ranks(config, world,
+                   [&](std::size_t r) -> std::unique_ptr<Transport> {
+    std::vector<int> fds = connect_socket_mesh(r, world, listeners[r],
                                                {ports.data(), ports.size()});
     return std::make_unique<SocketTransport>(r, std::move(fds));
   });
@@ -140,47 +149,98 @@ void check_reports(const std::vector<dist::WorkerResult>& results,
       EXPECT_GT(report.predicted_comm_seconds, 0.0);
       EXPECT_GE(report.measured_comm_seconds, 0.0);
       EXPECT_GT(report.wire_bits, 0.0);
+      EXPECT_GT(report.total_wire_bits, 0.0);
     }
     // A flush round moves 32× the sign bits; the ratio must show up in the
-    // payload accounting of every rank.
-    EXPECT_GT(results[r].rounds[0].wire_bits,
-              8.0 * results[r].rounds[1].wire_bits);
+    // payload accounting of every rank's round totals.
+    EXPECT_GT(results[r].rounds[0].total_wire_bits,
+              8.0 * results[r].rounds[1].total_wire_bits);
+  }
+  // total_wire_bits is the whole-round, all-ranks figure: identical on
+  // every rank and exactly the sum of the per-rank measured payload bits.
+  for (std::size_t t = 0; t < kRounds; ++t) {
+    double sum = 0.0;
+    for (const dist::WorkerResult& result : results) {
+      sum += result.rounds[t].wire_bits;
+      EXPECT_DOUBLE_EQ(result.rounds[t].total_wire_bits,
+                       results[0].rounds[t].total_wire_bits);
+    }
+    EXPECT_DOUBLE_EQ(sum, results[0].rounds[t].total_wire_bits)
+        << "round " << t;
   }
 }
 
-void run_cross_backend(MarParadigm paradigm) {
-  const dist::WorkerConfig config = worker_config(paradigm);
-  const std::uint64_t oracle = trainer_digest(config);
+void run_cell(MarParadigm paradigm, SyncMode mode, std::size_t world) {
+  SCOPED_TRACE(testing::Message()
+               << mar_paradigm_name(paradigm) << " / " << sync_mode_name(mode)
+               << " / " << world << " ranks");
+  const dist::WorkerConfig config = worker_config(paradigm, mode, world);
+  const std::uint64_t oracle = trainer_digest(config, world);
 
-  const std::vector<dist::WorkerResult> sim = run_over_sim_fabric(config);
+  const std::vector<dist::WorkerResult> sim =
+      run_over_sim_fabric(config, world);
   check_reports(sim, config);
-  for (std::size_t r = 0; r < kWorkers; ++r) {
+  for (std::size_t r = 0; r < world; ++r) {
     EXPECT_EQ(sim[r].param_digest, oracle) << "SimTransport rank " << r;
   }
 
-  const std::vector<dist::WorkerResult> sockets = run_over_sockets(config);
+  const std::vector<dist::WorkerResult> sockets =
+      run_over_sockets(config, world);
   check_reports(sockets, config);
-  for (std::size_t r = 0; r < kWorkers; ++r) {
-    EXPECT_EQ(sockets[r].param_digest, oracle) << "SocketTransport rank " << r;
-    // The α–β prediction is deterministic and backend-independent: both
-    // transports replay the same hop schedule through NetworkSim.
+  for (std::size_t r = 0; r < world; ++r) {
+    EXPECT_EQ(sockets[r].param_digest, oracle) << "SocketTransport rank "
+                                               << r;
+    // The α–β prediction and wire accounting are deterministic and
+    // backend-independent: both transports replay the same hop schedule
+    // through NetworkSim and send the same payload bytes.
     for (std::size_t t = 0; t < kRounds; ++t) {
       EXPECT_DOUBLE_EQ(sockets[r].rounds[t].predicted_comm_seconds,
                        sim[r].rounds[t].predicted_comm_seconds);
       EXPECT_DOUBLE_EQ(sockets[r].rounds[t].wire_bits,
                        sim[r].rounds[t].wire_bits);
+      EXPECT_DOUBLE_EQ(sockets[r].rounds[t].total_wire_bits,
+                       sim[r].rounds[t].total_wire_bits);
     }
   }
 }
 
-TEST(DistCrossBackendTest, RingDigestsMatchAcrossBackends) {
+void run_matrix(MarParadigm paradigm, SyncMode mode) {
   set_log_level(LogLevel::kWarning);
-  run_cross_backend(MarParadigm::kRing);
+  for (const std::size_t world : {std::size_t{4}, std::size_t{8}}) {
+    run_cell(paradigm, mode, world);
+  }
 }
 
-TEST(DistCrossBackendTest, TorusDigestsMatchAcrossBackends) {
-  set_log_level(LogLevel::kWarning);
-  run_cross_backend(MarParadigm::kTorus2d);
+TEST(DistCrossBackendTest, RingLegacyAllGather) {
+  run_matrix(MarParadigm::kRing, SyncMode::kLegacyAllGather);
+}
+
+TEST(DistCrossBackendTest, RingReduceScatter) {
+  run_matrix(MarParadigm::kRing, SyncMode::kReduceScatter);
+}
+
+TEST(DistCrossBackendTest, TorusLegacyAllGather) {
+  run_matrix(MarParadigm::kTorus2d, SyncMode::kLegacyAllGather);
+}
+
+TEST(DistCrossBackendTest, TorusReduceScatter) {
+  run_matrix(MarParadigm::kTorus2d, SyncMode::kReduceScatter);
+}
+
+TEST(DistCrossBackendTest, ParameterServerLegacyAllGather) {
+  run_matrix(MarParadigm::kParameterServer, SyncMode::kLegacyAllGather);
+}
+
+TEST(DistCrossBackendTest, ParameterServerReduceScatter) {
+  run_matrix(MarParadigm::kParameterServer, SyncMode::kReduceScatter);
+}
+
+TEST(DistCrossBackendTest, TreeLegacyAllGather) {
+  run_matrix(MarParadigm::kTree, SyncMode::kLegacyAllGather);
+}
+
+TEST(DistCrossBackendTest, TreeReduceScatter) {
+  run_matrix(MarParadigm::kTree, SyncMode::kReduceScatter);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// Wire-volume pinning for the socket backend (DESIGN.md §14): the paper's
+// ultimate-compression claim, measured at the byte level on real TCP
+// sockets rather than inferred from the α–β model.
+//
+// SocketTransport counts every payload byte and data frame it send()s.
+// This test runs real one-bit rounds over loopback and pins:
+//
+//   * reduce-scatter mode moves exactly 2(M−1)·D sign bits per round
+//     (D = the word-padded dimension), as M(M−1) reduce-scatter messages
+//     plus M(M−1) all-gather messages — so the only bytes on the wire
+//     beyond the paper's volume are the per-message frame header and CRC
+//     footer, whose exact total the frame counters expose;
+//   * legacy all-gather mode still moves M(M−1)·D sign bits;
+//   * RoundReport accounting agrees bit-for-bit with the transport's own
+//     byte counters: per-rank wire_bits equals 8 × measured payload bytes,
+//     and total_wire_bits equals their sum on every rank.
+#include "dist/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "compress/kernels.hpp"
+#include "data/synthetic_digits.hpp"
+#include "net/frame.hpp"
+#include "net/socket_transport.hpp"
+#include "nn/models.hpp"
+#include "util/logging.hpp"
+
+namespace marsit {
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kRounds = 3;
+
+dist::WorkerConfig worker_config(SyncMode mode) {
+  dist::WorkerConfig config;
+  config.batch_size_per_worker = 8;
+  config.optimizer = OptimizerKind::kSgd;
+  config.eta_l = 0.05f;
+  config.rounds = kRounds;
+  config.trainer_seed = 5;
+  config.sync_seed = 1177;
+  config.paradigm = MarParadigm::kRing;
+  config.sync_mode = mode;
+  config.options.eta_s = 2e-3f;
+  // No flush rounds: every round is a one-bit round, so the byte counters
+  // pin the sign-bit volume alone.
+  config.options.full_precision_period = 0;
+  return config;
+}
+
+struct SocketRun {
+  std::vector<dist::WorkerResult> results;
+  std::vector<std::uint64_t> payload_bytes;  // per rank
+  std::vector<std::uint64_t> data_frames;    // per rank
+};
+
+/// Runs the job over real loopback sockets, keeping the transports alive
+/// past the workers so their byte/frame counters can be read back.
+SocketRun run_over_sockets(const dist::WorkerConfig& config) {
+  SyntheticDigits digits;
+  std::vector<int> listeners(kWorkers);
+  std::vector<std::uint16_t> ports(kWorkers);
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    listeners[r] = bind_loopback_listener(&ports[r]);
+  }
+  std::vector<std::unique_ptr<SocketTransport>> transports(kWorkers);
+  SocketRun run;
+  run.results.resize(kWorkers);
+  std::vector<std::thread> ranks;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    ranks.emplace_back([&, r] {
+      std::vector<int> fds = connect_socket_mesh(
+          r, kWorkers, listeners[r], {ports.data(), ports.size()});
+      transports[r] = std::make_unique<SocketTransport>(r, std::move(fds));
+      const auto factory = [&digits] {
+        return make_mlp(digits.sample_size(), {8}, digits.num_classes());
+      };
+      run.results[r] =
+          dist::run_marsit_worker(*transports[r], digits, factory, config);
+    });
+  }
+  for (std::thread& t : ranks) {
+    t.join();
+  }
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    run.payload_bytes.push_back(transports[r]->payload_bytes_sent());
+    run.data_frames.push_back(transports[r]->data_frames_sent());
+  }
+  return run;
+}
+
+/// The word-padded model dimension the sign plane actually carries.
+std::size_t sign_words() {
+  SyntheticDigits digits;
+  Sequential model =
+      make_mlp(digits.sample_size(), {8}, digits.num_classes());
+  return kernels::words_for(model.param_count());
+}
+
+/// RoundReport accounting must agree with the transport's byte counters:
+/// wire_bits is 8 × this rank's payload bytes, total_wire_bits their sum.
+void check_reports_match_counters(const SocketRun& run) {
+  double total_payload_bits = 0.0;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    total_payload_bits += static_cast<double>(run.payload_bytes[r]) * 8.0;
+  }
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    double rank_bits = 0.0;
+    double rank_total_bits = 0.0;
+    for (const dist::RoundReport& report : run.results[r].rounds) {
+      rank_bits += report.wire_bits;
+      rank_total_bits += report.total_wire_bits;
+    }
+    EXPECT_DOUBLE_EQ(rank_bits,
+                     static_cast<double>(run.payload_bytes[r]) * 8.0)
+        << "rank " << r;
+    EXPECT_DOUBLE_EQ(rank_total_bits, total_payload_bits) << "rank " << r;
+  }
+}
+
+TEST(DistWireVolumeTest, ReduceScatterMovesExactlyTwiceMMinusOneD) {
+  set_log_level(LogLevel::kWarning);
+  const SocketRun run = run_over_sockets(worker_config(
+      SyncMode::kReduceScatter));
+  const std::uint64_t w = sign_words();
+  ASSERT_GE(w, kWorkers) << "model too small: empty ring segments";
+
+  // Payload: each round's reduce-scatter pass moves (M−1)·D sign bits and
+  // the all-gather pass moves them again — 2(M−1)·D total, D = 64·w.
+  std::uint64_t payload = 0;
+  std::uint64_t frames = 0;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    payload += run.payload_bytes[r];
+    frames += run.data_frames[r];
+  }
+  const std::uint64_t word_bytes = w * sizeof(std::uint64_t);
+  EXPECT_EQ(payload, kRounds * 2 * (kWorkers - 1) * word_bytes);
+
+  // Frames: one message per rank per step, M−1 steps per pass, two passes —
+  // every non-payload byte on the wire is these frames' header + CRC.
+  EXPECT_EQ(frames, kRounds * 2 * kWorkers * (kWorkers - 1));
+  const std::uint64_t framed_bytes =
+      payload + frames * (kFrameHeaderBytes + kFrameFooterBytes);
+  EXPECT_EQ(framed_bytes,
+            kRounds * 2 * (kWorkers - 1) * word_bytes +
+                kRounds * 2 * kWorkers * (kWorkers - 1) *
+                    (kFrameHeaderBytes + kFrameFooterBytes));
+
+  // The α–β report pins the same number: 2(M−1)·D bits per round.
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    for (const dist::RoundReport& report : run.results[r].rounds) {
+      EXPECT_EQ(report.total_wire_bits,
+                static_cast<double>(2 * (kWorkers - 1) * word_bytes * 8));
+    }
+  }
+  check_reports_match_counters(run);
+}
+
+TEST(DistWireVolumeTest, LegacyAllGatherStillMovesMTimesMMinusOneD) {
+  set_log_level(LogLevel::kWarning);
+  const SocketRun run = run_over_sockets(worker_config(
+      SyncMode::kLegacyAllGather));
+  const std::uint64_t w = sign_words();
+  const std::uint64_t word_bytes = w * sizeof(std::uint64_t);
+
+  std::uint64_t payload = 0;
+  std::uint64_t frames = 0;
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    // Ring all-gather: every rank forwards one full sign vector per step.
+    EXPECT_EQ(run.payload_bytes[r],
+              kRounds * (kWorkers - 1) * word_bytes);
+    EXPECT_EQ(run.data_frames[r], kRounds * (kWorkers - 1));
+    payload += run.payload_bytes[r];
+    frames += run.data_frames[r];
+  }
+  EXPECT_EQ(payload, kRounds * kWorkers * (kWorkers - 1) * word_bytes);
+  EXPECT_EQ(frames, kRounds * kWorkers * (kWorkers - 1));
+
+  for (std::size_t r = 0; r < kWorkers; ++r) {
+    for (const dist::RoundReport& report : run.results[r].rounds) {
+      EXPECT_EQ(report.total_wire_bits,
+                static_cast<double>(kWorkers * (kWorkers - 1) * word_bytes *
+                                    8));
+    }
+  }
+  check_reports_match_counters(run);
+}
+
+}  // namespace
+}  // namespace marsit

@@ -61,6 +61,20 @@ TEST(MarsitLintTest, R1AcceptsDerivedSeed) {
   EXPECT_TRUE(findings.empty()) << describe(findings);
 }
 
+TEST(MarsitLintTest, R1AcceptsSegmentAndChunkSeedHelpers) {
+  // The sanctioned wrappers around derive_seed: the legacy per-chunk grid
+  // and the reduce-scatter per-(segment, op) streams.
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp",
+                          "Rng rng(segment_fold_seed(round_seed, 3));\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/core/fixture.cpp",
+                          "Rng rng(segment_op_rng(segment_seed, 0));\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/dist/fixture.cpp",
+                          "Rng rng(marsit_chunk_rng(round_seed, 2));\n")
+                  .empty());
+}
+
 TEST(MarsitLintTest, R2FlagsWallClockOnce) {
   const auto findings = lint_source(
       "src/net/fixture.cpp",

@@ -113,7 +113,13 @@ void check_rng_discipline(const FileContext& file, const Rule& rule,
         --depth;
       } else if (tokens[j].kind == TokenKind::kNumber) {
         has_literal = true;
-      } else if (is_id(tokens[j], "derive_seed")) {
+      } else if (is_id(tokens[j], "derive_seed") ||
+                 is_id(tokens[j], "marsit_chunk_rng") ||
+                 is_id(tokens[j], "segment_fold_seed") ||
+                 is_id(tokens[j], "segment_op_rng")) {
+        // The sanctioned seed-derivation helpers: the root derive_seed plus
+        // the chunk- and segment-stream wrappers built on it (the legacy
+        // per-chunk grid and the reduce-scatter per-(segment, op) grid).
         has_derivation = true;
       }
     }

@@ -17,12 +17,12 @@ std::unique_ptr<SimTransport> SimFabric::endpoint(std::size_t rank) {
 }
 
 double SimFabric::simulated_seconds() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return simulated_seconds_;
 }
 
 double SimFabric::total_bytes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return net_.total_bytes();
 }
 
@@ -31,7 +31,7 @@ void SimFabric::send(std::size_t src, std::size_t dst, std::uint32_t tag,
   MARSIT_CHECK(src < world_size_ && dst < world_size_ && src != dst)
       << "bad simulated transfer " << src << " -> " << dst;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     // Price the message on the α–β model; the NIC-occupancy state inside
     // NetworkSim extends the per-node timelines exactly like the collective
     // schedules do, so the prediction matches ring/torus arithmetic.
@@ -48,9 +48,9 @@ void SimFabric::send(std::size_t src, std::size_t dst, std::uint32_t tag,
 
 std::vector<std::uint8_t> SimFabric::recv(std::size_t src, std::size_t dst,
                                           std::uint32_t tag) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const StreamKey key{src, dst, tag};
-  cv_.wait(lock, [&] {
+  cv_.wait(mutex_, [&]() MARSIT_REQUIRES(mutex_) {
     const auto found = mail_.find(key);
     return found != mail_.end() && !found->second.empty();
   });

@@ -19,13 +19,11 @@
 // test does this); the fabric serializes all state under one mutex.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -33,6 +31,7 @@
 #include "net/cost_model.hpp"
 #include "net/network_sim.hpp"
 #include "net/transport.hpp"
+#include "util/thread_safety.hpp"
 
 namespace marsit {
 
@@ -67,13 +66,14 @@ class SimFabric {
   using StreamKey = std::tuple<std::size_t, std::size_t, std::uint32_t>;
 
   std::size_t world_size_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  NetworkSim net_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  NetworkSim net_ MARSIT_GUARDED_BY(mutex_);
   /// Monotone fabric clock: every send is scheduled ready at the latest
   /// completion so far, and the maximum completion is the fabric's total.
-  double simulated_seconds_ = 0.0;
-  std::map<StreamKey, std::deque<std::vector<std::uint8_t>>> mail_;
+  double simulated_seconds_ MARSIT_GUARDED_BY(mutex_) = 0.0;
+  std::map<StreamKey, std::deque<std::vector<std::uint8_t>>> mail_
+      MARSIT_GUARDED_BY(mutex_);
 };
 
 class SimTransport final : public Transport {

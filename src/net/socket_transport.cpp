@@ -16,6 +16,25 @@ namespace marsit {
 
 namespace {
 
+/// strerror(3) shares one static buffer across threads (clang-tidy
+/// concurrency-mt-unsafe), so errno is rendered through strerror_r instead.
+/// glibc's _GNU_SOURCE variant returns char* (possibly ignoring the caller
+/// buffer) while the POSIX variant returns int and fills the buffer; the
+/// overload pair dispatches on whichever signature the platform provides.
+[[maybe_unused]] const char* describe_errno_result(const char* result,
+                                                   const char* /*buf*/) {
+  return result;
+}
+[[maybe_unused]] const char* describe_errno_result(int /*rc*/,
+                                                   const char* buf) {
+  return buf;
+}
+
+std::string errno_message(int err) {
+  char buf[256] = "unknown error";
+  return describe_errno_result(::strerror_r(err, buf, sizeof(buf)), buf);
+}
+
 /// write(2) until every byte is out, retrying EINTR.  Returns false on any
 /// other error (peer gone); callers surface it as a closed connection.
 bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
@@ -83,9 +102,10 @@ SocketTransport::~SocketTransport() {
     // Let the reader finish acking anything it has already mailboxed —
     // a peer may still be blocked in send() on that ack.
     {
-      std::unique_lock<std::mutex> lock(conn->mutex);
-      conn->cv.wait(lock,
-                    [&] { return conn->acks_pending == 0 || conn->closed; });
+      const MutexLock lock(conn->mutex);
+      conn->cv.wait(conn->mutex, [&conn]() MARSIT_REQUIRES(conn->mutex) {
+        return conn->acks_pending == 0 || conn->closed;
+      });
     }
     // Wake the reader out of its blocking read; it marks the connection
     // closed and exits.
@@ -143,7 +163,7 @@ void SocketTransport::reader_loop(Connection& conn) {
     }
     if (frame.is_ack()) {
       {
-        const std::lock_guard<std::mutex> lock(conn.mutex);
+        const MutexLock lock(conn.mutex);
         ++conn.acks;
       }
       conn.cv.notify_all();
@@ -153,20 +173,20 @@ void SocketTransport::reader_loop(Connection& conn) {
     // never from recv() — keeps send/recv order on the two endpoints
     // independent, which is what makes symmetric exchanges deadlock-free.
     {
-      const std::lock_guard<std::mutex> lock(conn.mutex);
+      const MutexLock lock(conn.mutex);
       conn.mailbox[frame.tag].push_back(std::move(frame.payload));
       ++conn.acks_pending;
     }
     conn.cv.notify_all();
     bool acked = false;
     {
-      const std::lock_guard<std::mutex> lock(conn.write_mutex);
+      const MutexLock lock(conn.write_mutex);
       const std::vector<std::uint8_t> ack =
           encode_frame(kAckMagic, frame.tag, {});
       acked = write_all(conn.fd, ack.data(), ack.size());
     }
     {
-      const std::lock_guard<std::mutex> lock(conn.mutex);
+      const MutexLock lock(conn.mutex);
       --conn.acks_pending;
     }
     conn.cv.notify_all();
@@ -176,7 +196,7 @@ void SocketTransport::reader_loop(Connection& conn) {
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(conn.mutex);
+    const MutexLock lock(conn.mutex);
     conn.closed = true;
     conn.error = error;
   }
@@ -190,16 +210,18 @@ void SocketTransport::send(std::size_t peer, std::uint32_t tag,
       encode_frame(kDataMagic, tag, payload);
   std::size_t seq = 0;
   {
-    const std::lock_guard<std::mutex> lock(conn.write_mutex);
+    const MutexLock lock(conn.write_mutex);
     MARSIT_CHECK(write_all(conn.fd, frame.data(), frame.size()))
         << "rank " << rank_ << " failed to write to peer " << peer;
-    const std::lock_guard<std::mutex> state(conn.mutex);
+    const MutexLock state(conn.mutex);
     seq = ++conn.sent;
   }
   payload_bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
   data_frames_sent_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(conn.mutex);
-  conn.cv.wait(lock, [&] { return conn.acks >= seq || conn.closed; });
+  const MutexLock lock(conn.mutex);
+  conn.cv.wait(conn.mutex, [&conn, seq]() MARSIT_REQUIRES(conn.mutex) {
+    return conn.acks >= seq || conn.closed;
+  });
   MARSIT_CHECK(conn.acks >= seq)
       << "rank " << rank_ << " lost peer " << peer << " awaiting ack"
       << (conn.error.empty() ? "" : ": ") << conn.error;
@@ -208,8 +230,8 @@ void SocketTransport::send(std::size_t peer, std::uint32_t tag,
 std::vector<std::uint8_t> SocketTransport::recv(std::size_t peer,
                                                 std::uint32_t tag) {
   Connection& conn = connection(peer);
-  std::unique_lock<std::mutex> lock(conn.mutex);
-  conn.cv.wait(lock, [&] {
+  const MutexLock lock(conn.mutex);
+  conn.cv.wait(conn.mutex, [&conn, tag]() MARSIT_REQUIRES(conn.mutex) {
     const auto found = conn.mailbox.find(tag);
     return (found != conn.mailbox.end() && !found->second.empty()) ||
            conn.closed;
@@ -232,7 +254,7 @@ int bind_loopback_listener(std::uint16_t* port_out) {
   useconds_t backoff = kInitialBackoffUs;
   for (int attempt = 0;; ++attempt) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+    MARSIT_CHECK(fd >= 0) << "socket(): " << errno_message(errno);
     const int one = 1;
     (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
     sockaddr_in addr{};
@@ -244,7 +266,7 @@ int bind_loopback_listener(std::uint16_t* port_out) {
       const int bind_errno = errno;
       ::close(fd);
       MARSIT_CHECK(bind_errno == EADDRINUSE && attempt + 1 < kMaxAttempts)
-          << "bind(): " << std::strerror(bind_errno) << " (attempt "
+          << "bind(): " << errno_message(bind_errno) << " (attempt "
           << attempt + 1 << "/" << kMaxAttempts << ")";
       ::usleep(backoff);
       backoff *= 2;
@@ -253,9 +275,9 @@ int bind_loopback_listener(std::uint16_t* port_out) {
     socklen_t len = sizeof(addr);
     MARSIT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
                                &len) == 0)
-        << "getsockname(): " << std::strerror(errno);
+        << "getsockname(): " << errno_message(errno);
     MARSIT_CHECK(::listen(fd, SOMAXCONN) == 0)
-        << "listen(): " << std::strerror(errno);
+        << "listen(): " << errno_message(errno);
     *port_out = ntohs(addr.sin_port);
     return fd;
   }
@@ -272,7 +294,7 @@ std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,
   // Connect downward: rank r dials every lower rank and announces itself.
   for (std::size_t peer = 0; peer < rank; ++peer) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    MARSIT_CHECK(fd >= 0) << "socket(): " << std::strerror(errno);
+    MARSIT_CHECK(fd >= 0) << "socket(): " << errno_message(errno);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -283,7 +305,7 @@ std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,
                      sizeof(addr));
     } while (rc != 0 && errno == EINTR);
     MARSIT_CHECK(rc == 0) << "rank " << rank << " cannot reach rank " << peer
-                          << ": " << std::strerror(errno);
+                          << ": " << errno_message(errno);
     const std::uint32_t hello = static_cast<std::uint32_t>(rank);
     std::uint8_t wire[4] = {
         static_cast<std::uint8_t>(hello & 0xff),
@@ -301,7 +323,7 @@ std::vector<int> connect_socket_mesh(std::size_t rank, std::size_t world_size,
     do {
       fd = ::accept(listen_fd, nullptr, nullptr);
     } while (fd < 0 && errno == EINTR);
-    MARSIT_CHECK(fd >= 0) << "accept(): " << std::strerror(errno);
+    MARSIT_CHECK(fd >= 0) << "accept(): " << errno_message(errno);
     std::uint8_t wire[4] = {0, 0, 0, 0};
     MARSIT_CHECK(read_all(fd, wire, sizeof(wire))) << "hello read failed";
     const std::uint32_t peer = static_cast<std::uint32_t>(wire[0]) |

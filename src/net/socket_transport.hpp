@@ -20,19 +20,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/thread_safety.hpp"
 
 namespace marsit {
 
@@ -69,22 +68,31 @@ class SocketTransport final : public Transport {
 
  private:
   struct Connection {
+    /// Set once before the reader thread starts, closed only after it has
+    /// joined — effectively immutable while any thread can see it.
     int fd = -1;
     std::thread reader;
-    std::mutex write_mutex;  // serializes frame writes (data vs acks)
-    std::mutex mutex;        // guards everything below
-    std::condition_variable cv;
-    std::map<std::uint32_t, std::deque<std::vector<std::uint8_t>>> mailbox;
-    std::size_t acks = 0;  // data frames the peer has acknowledged
-    std::size_t sent = 0;  // data frames written to the peer
+    /// Serializes frame writes (data vs acks).  Guards the write side of fd,
+    /// which the analysis cannot see through the write(2) syscall; the
+    /// discipline is "hold write_mutex across every encode+write pair".
+    Mutex write_mutex;
+    Mutex mutex;  // guards everything below
+    CondVar cv;
+    std::map<std::uint32_t, std::deque<std::vector<std::uint8_t>>> mailbox
+        MARSIT_GUARDED_BY(mutex);
+    /// Data frames the peer has acknowledged.
+    std::size_t acks MARSIT_GUARDED_BY(mutex) = 0;
+    /// Data frames written to the peer.
+    std::size_t sent MARSIT_GUARDED_BY(mutex) = 0;
     /// Frames mailboxed but not yet acked by our reader.  The destructor
     /// waits for this to drain before shutting the socket down: the final
     /// recv() of a run can return (and the whole endpoint destruct) while
     /// the reader is still between the mailbox push and the ack write, and
     /// shutting down in that window would strand the peer's blocked send().
-    std::size_t acks_pending = 0;
-    bool closed = false;
-    std::string error;  // first framing/IO failure, re-thrown at callers
+    std::size_t acks_pending MARSIT_GUARDED_BY(mutex) = 0;
+    bool closed MARSIT_GUARDED_BY(mutex) = false;
+    /// First framing/IO failure, re-thrown at callers.
+    std::string error MARSIT_GUARDED_BY(mutex);
   };
 
   Connection& connection(std::size_t peer);

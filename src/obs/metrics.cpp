@@ -94,7 +94,7 @@ MetricsRegistry::~MetricsRegistry() = default;
 MetricsRegistry::Id MetricsRegistry::register_metric(std::string_view name,
                                                      MetricKind kind) {
   MARSIT_CHECK(!name.empty()) << "metric name must be non-empty";
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) {
       MARSIT_CHECK(kinds_[i] == kind)
@@ -121,7 +121,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   auto shard = std::make_unique<Shard>();
   Shard* raw = shard.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     shards_.push_back(std::move(shard));
   }
   cached_uid = uid_;
@@ -181,7 +181,7 @@ void MetricsRegistry::observe(Id id, double value) {
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::scrape() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<MetricSnapshot> result(names_.size());
   for (std::size_t i = 0; i < names_.size(); ++i) {
     MetricSnapshot& snap = result[i];
@@ -235,7 +235,7 @@ MetricSnapshot MetricsRegistry::find(std::string_view name) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& shard : shards_) {
     shard->zero();
   }
@@ -246,11 +246,14 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return names_.size();
 }
 
 MetricsRegistry& MetricsRegistry::global() {
+  // marsit-lint: allow(concurrency-discipline): function-local static with a
+  // thread-safe magic-statics init; the registry itself locks mu_ internally
+  // and is deliberately leaked so publishing threads may outlive main().
   static MetricsRegistry* registry = new MetricsRegistry();  // never freed
   return *registry;
 }

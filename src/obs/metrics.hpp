@@ -28,10 +28,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace marsit::obs {
 
@@ -123,10 +124,10 @@ class MetricsRegistry {
   std::atomic<bool> enabled_{false};
   const std::uint64_t uid_;  // process-unique; keys the thread-local cache
 
-  mutable std::mutex mu_;  // guards names_/kinds_/shards_ structure
-  std::vector<std::string> names_;
-  std::vector<MetricKind> kinds_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex mu_;  // guards names_/kinds_/shards_ structure
+  std::vector<std::string> names_ MARSIT_GUARDED_BY(mu_);
+  std::vector<MetricKind> kinds_ MARSIT_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_ MARSIT_GUARDED_BY(mu_);
   /// Gauges are last-writer-wins; one central slot each (not sharded).
   std::array<std::atomic<double>, kMaxMetrics> gauges_{};
   std::array<std::atomic<std::uint64_t>, kMaxMetrics> gauge_counts_{};

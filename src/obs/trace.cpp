@@ -16,40 +16,40 @@ void TraceSession::add_span(std::string name, std::string cat,
                             std::uint32_t track) {
   MARSIT_CHECK(end_seconds >= start_seconds)
       << "span '" << name << "' ends before it starts";
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   spans_.push_back(TraceSpan{std::move(name), std::move(cat), start_seconds,
                              end_seconds, track, /*instant=*/false});
 }
 
 void TraceSession::add_instant(std::string name, std::string cat,
                                double at_seconds, std::uint32_t track) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   spans_.push_back(TraceSpan{std::move(name), std::move(cat), at_seconds,
                              at_seconds, track, /*instant=*/true});
 }
 
 void TraceSession::add_round_record(RoundRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   rounds_.push_back(std::move(record));
 }
 
 std::vector<TraceSpan> TraceSession::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return spans_;
 }
 
 std::vector<RoundRecord> TraceSession::rounds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return rounds_;
 }
 
 std::size_t TraceSession::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::size_t TraceSession::span_count(std::string_view cat) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::size_t count = 0;
   for (const TraceSpan& span : spans_) {
     if (span.cat == cat) {

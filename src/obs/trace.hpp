@@ -32,11 +32,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace marsit::obs {
 
@@ -104,9 +105,9 @@ class TraceSession {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::vector<RoundRecord> rounds_;
+  mutable Mutex mu_;  // guards the recorded span / round streams
+  std::vector<TraceSpan> spans_ MARSIT_GUARDED_BY(mu_);
+  std::vector<RoundRecord> rounds_ MARSIT_GUARDED_BY(mu_);
   std::atomic<double> time_offset_{0.0};
 
   static std::atomic<TraceSession*> current_;

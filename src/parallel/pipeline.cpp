@@ -1,12 +1,11 @@
 #include "parallel/pipeline.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/thread_safety.hpp"
 
 namespace marsit {
 
@@ -67,19 +66,22 @@ namespace {
 /// Shared state of one run_chunk_pipeline invocation.  Tasks are identified
 /// by id = stage * num_chunks + chunk; `deps` counts unmet dependencies.
 struct PipelineState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<std::size_t> ready;    // ids whose dependencies are all met
-  std::vector<std::uint8_t> deps;   // remaining dependency count per id
-  std::size_t remaining = 0;        // tasks not yet finished
-  std::size_t num_chunks = 0;
-  std::size_t num_stages = 0;
+  Mutex mu;
+  CondVar cv;
+  /// ids whose dependencies are all met
+  std::deque<std::size_t> ready MARSIT_GUARDED_BY(mu);
+  /// remaining dependency count per id
+  std::vector<std::uint8_t> deps MARSIT_GUARDED_BY(mu);
+  /// tasks not yet finished
+  std::size_t remaining MARSIT_GUARDED_BY(mu) = 0;
+  std::size_t num_chunks = 0;  // immutable after setup
+  std::size_t num_stages = 0;  // immutable after setup
 };
 
 /// Decrements the dependency count of (stage, chunk) and enqueues it when it
-/// reaches zero.  Caller holds state.mu.
+/// reaches zero.
 void release_dependency(PipelineState& state, std::size_t stage,
-                        std::size_t chunk) {
+                        std::size_t chunk) MARSIT_REQUIRES(state.mu) {
   const std::size_t id = stage * state.num_chunks + chunk;
   MARSIT_CHECK(state.deps[id] > 0) << "pipeline dependency underflow";
   if (--state.deps[id] == 0) {
@@ -95,10 +97,10 @@ void release_dependency(PipelineState& state, std::size_t stage,
 void pipeline_worker(PipelineState& state,
                      std::span<const PipelineStage> stages) {
   ScratchArena& arena = this_thread_arena();
-  std::unique_lock<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   while (state.remaining > 0) {
     if (state.ready.empty()) {
-      state.cv.wait(lock, [&state] {
+      state.cv.wait(state.mu, [&state]() MARSIT_REQUIRES(state.mu) {
         return !state.ready.empty() || state.remaining == 0;
       });
       continue;
@@ -158,15 +160,20 @@ void run_chunk_pipeline(ThreadPool& pool, std::size_t num_chunks,
   PipelineState state;
   state.num_chunks = num_chunks;
   state.num_stages = num_stages;
-  state.remaining = num_stages * num_chunks;
-  state.deps.resize(state.remaining);
-  for (std::size_t s = 0; s < num_stages; ++s) {
-    for (std::size_t c = 0; c < num_chunks; ++c) {
-      state.deps[s * num_chunks + c] =
-          static_cast<std::uint8_t>((s > 0 ? 1 : 0) + (c > 0 ? 1 : 0));
+  {
+    // No worker exists yet, but the guarded fields are locked for the setup
+    // writes anyway: uncontended, and the analysis stays unconditional.
+    const MutexLock lock(state.mu);
+    state.remaining = num_stages * num_chunks;
+    state.deps.resize(state.remaining);
+    for (std::size_t s = 0; s < num_stages; ++s) {
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        state.deps[s * num_chunks + c] =
+            static_cast<std::uint8_t>((s > 0 ? 1 : 0) + (c > 0 ? 1 : 0));
+      }
     }
+    state.ready.push_back(0);  // (stage 0, chunk 0) is the only root
   }
-  state.ready.push_back(0);  // (stage 0, chunk 0) is the only root
 
   // The wavefront admits at most min(num_stages, num_chunks) concurrent
   // tasks; extra loop workers would only sleep on the cv.

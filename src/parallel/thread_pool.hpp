@@ -7,13 +7,13 @@
 // work-stealing scheduler would be complexity without benefit.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace marsit {
 
@@ -45,12 +45,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable idle_;
-  std::size_t in_flight_ = 0;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ MARSIT_GUARDED_BY(mutex_);
+  CondVar task_available_;
+  CondVar idle_;
+  std::size_t in_flight_ MARSIT_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MARSIT_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, count) across the pool, blocking until all

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_safety.hpp"
 
 namespace marsit {
 
@@ -25,8 +26,8 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
-std::mutex& emit_mutex() {
-  static std::mutex mutex;
+Mutex& emit_mutex() {
+  static Mutex mutex;
   return mutex;
 }
 
@@ -48,7 +49,7 @@ namespace detail {
 
 LogRecord::~LogRecord() {
   const std::string message = stream_.str();
-  std::lock_guard<std::mutex> lock(emit_mutex());
+  const MutexLock lock(emit_mutex());
   std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed_seconds(),
                level_tag(level_), message.c_str());
 }

@@ -1,4 +1,4 @@
-// Pins marsit_lint's rule registry: each rule R1–R5 has a fixture snippet
+// Pins marsit_lint's rule registry: each rule R1–R7 has a fixture snippet
 // that triggers it exactly once, the suppression mechanism is exercised in
 // both its valid and malformed forms, and — the actual quality gate — the
 // checked-in tree itself must lint clean.
@@ -11,9 +11,12 @@
 #include "marsit_lint/linter.hpp"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "marsit_lint/layers.hpp"
 
 namespace marsit_lint {
 namespace {
@@ -27,14 +30,34 @@ std::string describe(const std::vector<Finding>& findings) {
   return out;
 }
 
+/// Swaps the R7 layer graph for a fixture spec, restoring the committed
+/// graph on scope exit so the clean-tree test sees the real DAG regardless
+/// of test order.
+class ScopedLayerGraph {
+ public:
+  explicit ScopedLayerGraph(std::string_view spec)
+      : saved_(active_layer_graph()) {
+    set_active_layer_graph(parse_layer_graph(spec));
+  }
+  ~ScopedLayerGraph() { set_active_layer_graph(std::move(saved_)); }
+
+  ScopedLayerGraph(const ScopedLayerGraph&) = delete;
+  ScopedLayerGraph& operator=(const ScopedLayerGraph&) = delete;
+
+ private:
+  LayerGraph saved_;
+};
+
 TEST(MarsitLintTest, RuleRegistryIsStable) {
   const auto& rules = all_rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 7u);
   EXPECT_TRUE(is_known_rule("rng-discipline"));
   EXPECT_TRUE(is_known_rule("determinism"));
   EXPECT_TRUE(is_known_rule("kernel-safety"));
   EXPECT_TRUE(is_known_rule("header-hygiene"));
   EXPECT_TRUE(is_known_rule("obs-gating"));
+  EXPECT_TRUE(is_known_rule("concurrency-discipline"));
+  EXPECT_TRUE(is_known_rule("layering"));
   EXPECT_FALSE(is_known_rule("suppression"));  // pseudo-rule, not allowable
 }
 
@@ -165,6 +188,294 @@ TEST(MarsitLintTest, R5AcceptsGuardedMetric) {
       "  }\n"
       "}\n");
   EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// --- R6 concurrency-discipline ----------------------------------------------
+
+TEST(MarsitLintTest, R6FlagsRawLockAndUnlock) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "void f(std::mutex& m) {\n"
+      "  m.lock();\n"
+      "  m.unlock();\n"
+      "}\n");
+  ASSERT_EQ(findings.size(), 2u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+TEST(MarsitLintTest, R6AcceptsLockCallsOnRaiiGuards) {
+  // Hand-over-hand on a declared guard (MutexLock or a std guard) is the
+  // sanctioned way to drop a lock around a long stage body.
+  const auto findings = lint_source(
+      "src/parallel/fixture.cpp",
+      "void f(marsit::Mutex& m) {\n"
+      "  marsit::MutexLock lock(m);\n"
+      "  lock.unlock();\n"
+      "  lock.lock();\n"
+      "}\n"
+      "void g(std::mutex& m) {\n"
+      "  std::unique_lock<std::mutex> guard(m);\n"
+      "  guard.unlock();\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R6SuppressedRawLockWithReasonIsSilenced) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "void f(std::mutex& m) {\n"
+      "  m.lock();  // marsit-lint: allow(concurrency-discipline): fixture "
+      "demonstrating suppression\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R6ExemptsTheAnnotationHeaderItself) {
+  // util/thread_safety.hpp implements Mutex over std::mutex, so it is the
+  // one file allowed raw lock()/unlock().
+  const auto findings = lint_source(
+      "src/util/thread_safety.hpp",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class Mutex {\n"
+      "  std::mutex raw_;\n"
+      " public:\n"
+      "  void lock() { raw_.lock(); }\n"
+      "  void unlock() { raw_.unlock(); }\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R6FlagsThreadMemberWithoutDestructorInHeader) {
+  const auto findings = lint_source(
+      "src/net/fixture.hpp",
+      "#pragma once\n"
+      "#include <thread>\n"
+      "struct Watcher { std::thread worker; };\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(MarsitLintTest, R6AcceptsThreadMemberWithDeclaredDestructor) {
+  // A header may defer the join to its .cpp as long as a destructor exists
+  // to do it.
+  const auto findings = lint_source(
+      "src/net/fixture.hpp",
+      "#pragma once\n"
+      "#include <thread>\n"
+      "struct Watcher {\n"
+      "  ~Watcher();\n"
+      "  std::thread worker;\n"
+      "};\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R6FlagsLocalThreadWithoutJoin) {
+  const auto findings = lint_source(
+      "src/sim/fixture.cpp", "void f() { std::thread t(work); }\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+
+  const auto joined = lint_source(
+      "src/sim/fixture.cpp",
+      "void f() { std::thread t(work); t.join(); }\n");
+  EXPECT_TRUE(joined.empty()) << describe(joined);
+
+  const auto suppressed = lint_source(
+      "src/sim/fixture.cpp",
+      "// marsit-lint: allow(concurrency-discipline): fixture demonstrating "
+      "suppression\n"
+      "void f() { std::thread t(work); }\n");
+  EXPECT_TRUE(suppressed.empty()) << describe(suppressed);
+}
+
+TEST(MarsitLintTest, R6FlagsDetachAnywhereInSrc) {
+  const auto findings = lint_source(
+      "src/sim/fixture.cpp", "void f(std::thread& t) { t.detach(); }\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+
+  const auto suppressed = lint_source(
+      "src/sim/fixture.cpp",
+      "void f(std::thread& t) {\n"
+      "  t.detach();  // marsit-lint: allow(concurrency-discipline): fixture "
+      "demonstrating suppression\n"
+      "}\n");
+  EXPECT_TRUE(suppressed.empty()) << describe(suppressed);
+
+  // tests/ may detach (harness teardown owns the process lifetime).
+  const auto in_tests = lint_source(
+      "tests/fixture.cpp", "void f(std::thread& t) { t.detach(); }\n");
+  EXPECT_TRUE(in_tests.empty()) << describe(in_tests);
+}
+
+TEST(MarsitLintTest, R6FlagsMutableStaticInThreadedLayerOnly) {
+  const std::string snippet =
+      "int counter() { static int count = 0; return ++count; }\n";
+  const auto findings = lint_source("src/parallel/fixture.cpp", snippet);
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+
+  // tensor/ is single-threaded by contract; the sub-rule stays out.
+  EXPECT_TRUE(lint_source("src/tensor/fixture.cpp", snippet).empty());
+
+  const auto suppressed = lint_source(
+      "src/parallel/fixture.cpp",
+      "int counter() {\n"
+      "  // marsit-lint: allow(concurrency-discipline): fixture "
+      "demonstrating suppression\n"
+      "  static int count = 0;\n"
+      "  return ++count;\n"
+      "}\n");
+  EXPECT_TRUE(suppressed.empty()) << describe(suppressed);
+}
+
+TEST(MarsitLintTest, R6AcceptsConstAtomicAndGuardedStatics) {
+  const auto findings = lint_source(
+      "src/obs/fixture.cpp",
+      "#include <atomic>\n"
+      "int f() { static std::atomic<int> count{0}; return ++count; }\n"
+      "int g() { static const int kBase = 7; return kBase; }\n"
+      "int h() { static constexpr int kStep = 2; return kStep; }\n"
+      "marsit::Mutex& mu() { static marsit::Mutex m; return m; }\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R6FlagsPredicateLessWait) {
+  const auto findings = lint_source(
+      "src/net/fixture.cpp", "void f() { cv.wait(lk); }\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "concurrency-discipline");
+
+  const auto with_predicate = lint_source(
+      "src/net/fixture.cpp",
+      "void f() { cv.wait(lk, [&] { return ready; }); }\n");
+  EXPECT_TRUE(with_predicate.empty()) << describe(with_predicate);
+
+  const auto suppressed = lint_source(
+      "src/net/fixture.cpp",
+      "void f() {\n"
+      "  cv.wait(lk);  // marsit-lint: allow(concurrency-discipline): "
+      "fixture demonstrating suppression\n"
+      "}\n");
+  EXPECT_TRUE(suppressed.empty()) << describe(suppressed);
+}
+
+// --- R7 layering -------------------------------------------------------------
+
+TEST(MarsitLintTest, R7FlagsBackEdgeInclude) {
+  const ScopedLayerGraph graph("util:\nnet: util\ncore: net util\n");
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "#include \"core/api.hpp\"\n#include \"util/check.hpp\"\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("core/api.hpp"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(MarsitLintTest, R7AcceptsAllowedAndIntraLayerIncludes) {
+  const ScopedLayerGraph graph("util:\nnet: util\ncore: net util\n");
+  const auto findings = lint_source(
+      "src/core/fixture.cpp",
+      "#include \"core/other.hpp\"\n"
+      "#include \"net/transport.hpp\"\n"
+      "#include \"util/check.hpp\"\n"
+      "#include <vector>\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R7FlagsUndeclaredLayer) {
+  const ScopedLayerGraph graph("util:\n");
+  const auto findings =
+      lint_source("src/mystery/fixture.cpp", "int x = 0;\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("mystery"), std::string::npos);
+}
+
+TEST(MarsitLintTest, R7SuppressionSilencesBackEdge) {
+  const ScopedLayerGraph graph("util:\nnet: util\ncore: net util\n");
+  const auto findings = lint_source(
+      "src/net/fixture.cpp",
+      "// marsit-lint: allow(layering): fixture demonstrating suppression\n"
+      "#include \"core/api.hpp\"\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, R7StaysOutOfTestsAndTools) {
+  const ScopedLayerGraph graph("util:\nnet: util\n");
+  const auto findings = lint_source(
+      "tests/fixture.cpp", "#include \"net/transport.hpp\"\n");
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(MarsitLintTest, LayerGraphParsesDepsCommentsAndBlanks) {
+  const LayerGraph graph = parse_layer_graph(
+      "# comment\n"
+      "\n"
+      "util:\n"
+      "net: util  # trailing comment\n");
+  EXPECT_TRUE(graph.ok()) << describe({});
+  ASSERT_EQ(graph.deps.size(), 2u);
+  EXPECT_EQ(graph.deps.at("net").count("util"), 1u);
+  EXPECT_TRUE(graph.deps.at("util").empty());
+}
+
+TEST(MarsitLintTest, LayerGraphRejectsMalformedInput) {
+  EXPECT_FALSE(parse_layer_graph("nonsense line\n").ok());
+  EXPECT_FALSE(parse_layer_graph("a: b\n").ok());       // undeclared dep
+  EXPECT_FALSE(parse_layer_graph("a: a\n").ok());       // self-dependency
+  EXPECT_FALSE(parse_layer_graph("a:\na: \n").ok());    // duplicate layer
+  EXPECT_FALSE(parse_layer_graph("a: b\nb: a\n").ok()); // cycle
+}
+
+TEST(MarsitLintTest, LayerGraphCycleIsNamedInErrors) {
+  const LayerGraph graph = parse_layer_graph("a: b\nb: c\nc: a\n");
+  ASSERT_FALSE(graph.ok());
+  bool mentioned = false;
+  for (const std::string& error : graph.errors) {
+    mentioned = mentioned || error.find("cycle") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(MarsitLintTest, R7ReportsBrokenGraphInsteadOfPassing) {
+  const ScopedLayerGraph graph("a: b\nb: a\n");  // cycle -> graph has errors
+  const auto findings = lint_source("src/net/fixture.cpp", "int x = 0;\n");
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "layering");
+  EXPECT_NE(findings[0].message.find("unavailable"), std::string::npos);
+}
+
+TEST(MarsitLintTest, DefaultLayerGraphIsTheCommittedFile) {
+  const LayerGraph& graph = active_layer_graph();
+  ASSERT_TRUE(graph.ok()) << (graph.errors.empty() ? "" : graph.errors[0]);
+  EXPECT_EQ(graph.deps.count("util"), 1u);
+  EXPECT_EQ(graph.deps.count("core"), 1u);
+  // The bottom layer depends on nothing; core may reach the collectives.
+  EXPECT_TRUE(graph.deps.at("util").empty());
+  EXPECT_EQ(graph.deps.at("core").count("collectives"), 1u);
+}
+
+// --- output formats ----------------------------------------------------------
+
+TEST(MarsitLintTest, JsonOutputEscapesAndRoundTrips) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "determinism",
+       "message with \"quotes\" and \\backslash"}};
+  EXPECT_EQ(format_findings_json(findings),
+            "[\n"
+            "  {\"path\": \"src/a.cpp\", \"line\": 3, "
+            "\"rule\": \"determinism\", "
+            "\"message\": \"message with \\\"quotes\\\" and "
+            "\\\\backslash\"}\n"
+            "]\n");
+  EXPECT_EQ(format_findings_json({}), "[]\n");
 }
 
 TEST(MarsitLintTest, TrailingSuppressionWithReasonSilencesFinding) {

@@ -1,0 +1,165 @@
+#include "marsit_lint/layers.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace marsit_lint {
+
+namespace {
+
+std::string strip(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+                         text[end - 1] == '\r')) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Depth-first cycle search over the declared layers.  Reports one error per
+/// back-edge found, naming both endpoints.
+void find_cycles(const LayerGraph& graph, std::vector<std::string>& errors) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color, std::less<>> color;
+  for (const auto& [layer, deps] : graph.deps) {
+    color[layer] = Color::kWhite;
+  }
+  // Iterative DFS: stack of (layer, next-dep iterator position).
+  for (const auto& [root, root_deps] : graph.deps) {
+    if (color[root] != Color::kWhite) {
+      continue;
+    }
+    std::vector<std::pair<std::string, std::set<std::string,
+                                                std::less<>>::const_iterator>>
+        stack;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, graph.deps.at(root).begin());
+    while (!stack.empty()) {
+      auto& [layer, it] = stack.back();
+      const auto& deps = graph.deps.at(layer);
+      if (it == deps.end()) {
+        color[layer] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string dep = *it++;
+      const auto dep_color = color.find(dep);
+      if (dep_color == color.end()) {
+        continue;  // undeclared dep; reported separately
+      }
+      if (dep_color->second == Color::kGray) {
+        errors.push_back("cycle: layer '" + dep + "' is reachable from '" +
+                         layer + "' which depends on it");
+        continue;
+      }
+      if (dep_color->second == Color::kWhite) {
+        dep_color->second = Color::kGray;
+        stack.emplace_back(dep, graph.deps.at(dep).begin());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LayerGraph parse_layer_graph(std::string_view content) {
+  LayerGraph graph;
+  int line_number = 0;
+  std::istringstream in{std::string(content)};
+  for (std::string raw; std::getline(in, raw);) {
+    ++line_number;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    const std::string line = strip(raw);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      graph.errors.push_back("line " + std::to_string(line_number) +
+                             ": expected 'layer: dep dep ...', got '" + line +
+                             "'");
+      continue;
+    }
+    const std::string layer = strip(line.substr(0, colon));
+    if (layer.empty() || layer.find(' ') != std::string::npos) {
+      graph.errors.push_back("line " + std::to_string(line_number) +
+                             ": bad layer name '" + layer + "'");
+      continue;
+    }
+    if (graph.deps.count(layer) > 0) {
+      graph.errors.push_back("line " + std::to_string(line_number) +
+                             ": layer '" + layer + "' declared twice");
+      continue;
+    }
+    auto& deps = graph.deps[layer];
+    std::istringstream dep_stream(line.substr(colon + 1));
+    for (std::string dep; dep_stream >> dep;) {
+      if (dep == layer) {
+        graph.errors.push_back("line " + std::to_string(line_number) +
+                               ": layer '" + layer + "' depends on itself");
+        continue;
+      }
+      deps.insert(dep);
+    }
+  }
+  // Every dep must itself be a declared layer, so typos cannot silently
+  // authorize an edge.
+  for (const auto& [layer, deps] : graph.deps) {
+    for (const std::string& dep : deps) {
+      if (graph.deps.count(dep) == 0) {
+        graph.errors.push_back("layer '" + layer + "' depends on '" + dep +
+                               "', which is not declared");
+      }
+    }
+  }
+  find_cycles(graph, graph.errors);
+  return graph;
+}
+
+LayerGraph load_layer_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LayerGraph graph;
+    graph.errors.push_back("cannot read layer file '" + path + "'");
+    return graph;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layer_graph(buffer.str());
+}
+
+namespace {
+
+LayerGraph& mutable_active_graph() {
+  static LayerGraph graph =
+#ifdef MARSIT_LINT_LAYERS_FILE
+      load_layer_graph(MARSIT_LINT_LAYERS_FILE);
+#else
+      [] {
+        LayerGraph g;
+        g.errors.push_back(
+            "no layers file baked in; pass --layers <path> or build with "
+            "MARSIT_LINT_LAYERS_FILE");
+        return g;
+      }();
+#endif
+  return graph;
+}
+
+}  // namespace
+
+const LayerGraph& active_layer_graph() { return mutable_active_graph(); }
+
+void set_active_layer_graph(LayerGraph graph) {
+  mutable_active_graph() = std::move(graph);
+}
+
+}  // namespace marsit_lint

@@ -1,0 +1,50 @@
+// Layering DAG behind marsit_lint's R7 rule.
+//
+// The committed tools/marsit_lint/layers.txt names every src/ layer and the
+// layers it may include directly (`layer: dep dep ...`).  R7 reads the
+// active graph and reports any `#include "other_layer/..."` whose edge the
+// graph does not allow — a back-edge in the architecture DAG.
+//
+// The graph is process-global state so rule checks (which only see one file
+// at a time) can consult it: the default loads the committed file via the
+// MARSIT_LINT_LAYERS_FILE compile definition, the CLI's --layers flag and
+// the fixture tests override it through set_active_layer_graph().
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marsit_lint {
+
+struct LayerGraph {
+  /// layer -> layers it may include directly (never contains the layer
+  /// itself; intra-layer includes are always allowed).
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>> deps;
+  /// Parse/validation problems, in file order: malformed lines, deps naming
+  /// undeclared layers, self-dependencies, cycles.  R7 refuses to run on a
+  /// graph with errors (and says so), so a broken layers.txt fails loudly
+  /// instead of silently allowing everything.
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses `layer: dep dep ...` lines.  '#' starts a comment; blank lines are
+/// skipped.  Validation (unknown deps, duplicates, cycles) lands in
+/// `errors`; the structural part of `deps` is filled either way.
+LayerGraph parse_layer_graph(std::string_view content);
+
+/// Reads and parses `path`; an unreadable file is one error.
+LayerGraph load_layer_graph(const std::string& path);
+
+/// The graph R7 consults.  Defaults to the committed layers.txt (baked in
+/// as MARSIT_LINT_LAYERS_FILE at build time).
+const LayerGraph& active_layer_graph();
+
+/// Replaces the active graph (CLI --layers, fixture tests).
+void set_active_layer_graph(LayerGraph graph);
+
+}  // namespace marsit_lint

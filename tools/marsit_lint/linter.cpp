@@ -178,4 +178,56 @@ std::string format_finding(const Finding& finding) {
   return out.str();
 }
 
+namespace {
+
+void append_json_string(const std::string& text, std::ostringstream& out) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string format_findings_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& finding = findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"path\": ";
+    append_json_string(finding.path, out);
+    out << ", \"line\": " << finding.line << ", \"rule\": ";
+    append_json_string(finding.rule, out);
+    out << ", \"message\": ";
+    append_json_string(finding.message, out);
+    out << "}";
+  }
+  out << (findings.empty() ? "]\n" : "\n]\n");
+  return out.str();
+}
+
 }  // namespace marsit_lint

@@ -38,4 +38,9 @@ std::vector<Finding> lint_paths(const std::vector<std::string>& paths);
 /// "path:line: [rule] message" — one line per finding.
 std::string format_finding(const Finding& finding);
 
+/// All findings as one JSON array — `[{"path": ..., "line": ..., "rule":
+/// ..., "message": ...}, ...]` — for machine consumers (the CI job renders
+/// these as GitHub annotations).  Always a valid document: `[]` when clean.
+std::string format_findings_json(const std::vector<Finding>& findings);
+
 }  // namespace marsit_lint

@@ -1,24 +1,33 @@
 // marsit_lint CLI.
 //
 //   marsit_lint --check src tests bench examples   # lint, exit 1 on findings
+//   marsit_lint --check --format=json src          # machine-readable output
 //   marsit_lint --list-rules                       # print the rule registry
 //
-// Findings print as "path:line: [rule] message"; suppress a deliberate
+// Findings print as "path:line: [rule] message" (or as a JSON array of
+// {path, line, rule, message} objects with --format=json — the CI lint job
+// consumes that to render GitHub annotations); suppress a deliberate
 // violation with `// marsit-lint: allow(<rule>): <reason>` on the same line
-// or the line above (the reason is mandatory).
+// or the line above (the reason is mandatory).  --layers overrides the
+// committed layering DAG the R7 rule checks against.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "marsit_lint/layers.hpp"
 #include "marsit_lint/linter.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--check] [--list-rules] <files-or-dirs>...\n"
-               "  --check       lint the given paths (default command)\n"
-               "  --list-rules  describe the rule registry and exit\n",
+               "usage: %s [--check] [--list-rules] [--format=human|json]\n"
+               "          [--layers <file>] <files-or-dirs>...\n"
+               "  --check           lint the given paths (default command)\n"
+               "  --list-rules      describe the rule registry and exit\n"
+               "  --format=json     emit findings as a JSON array\n"
+               "  --layers <file>   layering DAG for R7 (default: the\n"
+               "                    committed tools/marsit_lint/layers.txt)\n",
                argv0);
   return 2;
 }
@@ -27,6 +36,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool list_rules = false;
+  bool json = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -34,6 +44,24 @@ int main(int argc, char** argv) {
       list_rules = true;
     } else if (arg == "--check") {
       // default behavior; accepted for explicitness
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=human") {
+      json = false;
+    } else if (arg == "--layers") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--layers needs a file argument\n");
+        return usage(argv[0]);
+      }
+      marsit_lint::LayerGraph graph =
+          marsit_lint::load_layer_graph(argv[++i]);
+      if (!graph.ok()) {
+        for (const std::string& error : graph.errors) {
+          std::fprintf(stderr, "marsit_lint: --layers: %s\n", error.c_str());
+        }
+        return 2;
+      }
+      marsit_lint::set_active_layer_graph(std::move(graph));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -47,7 +75,7 @@ int main(int argc, char** argv) {
 
   if (list_rules) {
     for (const marsit_lint::Rule& rule : marsit_lint::all_rules()) {
-      std::printf("%-16s %s  %s\n", rule.id, rule.label, rule.summary);
+      std::printf("%-24s %s  %s\n", rule.id, rule.label, rule.summary);
     }
     return 0;
   }
@@ -57,8 +85,12 @@ int main(int argc, char** argv) {
 
   const std::vector<marsit_lint::Finding> findings =
       marsit_lint::lint_paths(paths);
-  for (const marsit_lint::Finding& finding : findings) {
-    std::printf("%s\n", marsit_lint::format_finding(finding).c_str());
+  if (json) {
+    std::printf("%s", marsit_lint::format_findings_json(findings).c_str());
+  } else {
+    for (const marsit_lint::Finding& finding : findings) {
+      std::printf("%s\n", marsit_lint::format_finding(finding).c_str());
+    }
   }
   if (!findings.empty()) {
     std::fprintf(stderr, "marsit_lint: %zu finding(s)\n", findings.size());

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "marsit_lint/layers.hpp"
+
 namespace marsit_lint {
 
 namespace {
@@ -318,12 +320,27 @@ iwyu_symbol_headers() {
           {"move", {"utility"}},
           {"swap", {"utility"}},
           {"atomic", {"atomic"}},
+          {"memory_order", {"atomic"}},
+          {"memory_order_relaxed", {"atomic"}},
+          {"memory_order_acquire", {"atomic"}},
+          {"memory_order_release", {"atomic"}},
+          {"memory_order_acq_rel", {"atomic"}},
+          {"memory_order_seq_cst", {"atomic"}},
           {"mutex", {"mutex"}},
           {"lock_guard", {"mutex"}},
           {"unique_lock", {"mutex"}},
+          {"scoped_lock", {"mutex"}},
+          {"once_flag", {"mutex"}},
+          {"call_once", {"mutex"}},
+          {"shared_mutex", {"shared_mutex"}},
+          {"shared_lock", {"shared_mutex"}},
           {"condition_variable", {"condition_variable"}},
+          {"condition_variable_any", {"condition_variable"}},
           {"deque", {"deque"}},
           {"thread", {"thread"}},
+          {"jthread", {"thread"}},
+          {"stop_token", {"stop_token"}},
+          {"stop_source", {"stop_token"}},
           {"ostringstream", {"sstream"}},
           {"istringstream", {"sstream"}},
           {"ifstream", {"fstream"}},
@@ -442,6 +459,261 @@ void check_obs_gating(const FileContext& file, const Rule& rule,
   }
 }
 
+// --- R6 concurrency-discipline -----------------------------------------------
+
+/// RAII guard types whose named instances may legitimately call
+/// .lock()/.unlock() (hand-over-hand around long stage bodies).
+const std::set<std::string, std::less<>>& guard_types() {
+  static const std::set<std::string, std::less<>> kSet = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock", "MutexLock"};
+  return kSet;
+}
+
+/// Names of variables declared with a guard type in this file: `MutexLock
+/// lock(mu)` or `std::unique_lock<std::mutex> lock(mu)`.
+std::set<std::string, std::less<>> collect_guard_names(
+    const std::vector<Token>& tokens) {
+  std::set<std::string, std::less<>> guards;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kIdentifier ||
+        guard_types().count(tokens[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < tokens.size() && is_punct(tokens[j], "<")) {
+      int depth = 0;
+      for (; j < tokens.size(); ++j) {
+        if (is_punct(tokens[j], "<")) {
+          ++depth;
+        } else if (is_punct(tokens[j], ">")) {
+          --depth;
+        } else if (is_punct(tokens[j], ">>")) {
+          depth -= 2;
+        }
+        if (depth <= 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      guards.insert(tokens[j].text);
+    }
+  }
+  return guards;
+}
+
+/// True when the tokens starting at `begin` (just past `static`) read like a
+/// declaration of mutable data: stop at ';' or '=' having seen no
+/// synchronization-safe type word.  A '(' before either means a function
+/// declaration (or a constructor call, which the rule deliberately lets
+/// pass — initialization syntax is rare enough to review by hand).
+bool is_mutable_static_decl(const std::vector<Token>& tokens,
+                            std::size_t begin) {
+  static const std::set<std::string, std::less<>> kExempt = {
+      "const",     "constexpr", "constinit",
+      "thread_local", "atomic", "mutex",
+      "Mutex",     "CondVar",   "once_flag",
+      "condition_variable", "condition_variable_any", "shared_mutex"};
+  constexpr std::size_t kScanLimit = 24;
+  for (std::size_t j = begin, scanned = 0;
+       j < tokens.size() && scanned < kScanLimit; ++j, ++scanned) {
+    const Token& token = tokens[j];
+    if (is_punct(token, ";") || is_punct(token, "=") ||
+        is_punct(token, "{")) {
+      return true;  // data declaration ended with nothing exempting it
+    }
+    if (is_punct(token, "(")) {
+      return false;  // function declaration / definition
+    }
+    if (token.kind == TokenKind::kIdentifier && kExempt.count(token.text)) {
+      return false;
+    }
+  }
+  return false;  // ran off the scan window: give the benefit of the doubt
+}
+
+void check_concurrency(const FileContext& file, const Rule& rule,
+                       std::vector<Finding>& out) {
+  if (!file.under("src/")) {
+    return;
+  }
+  // util/thread_safety.hpp *implements* the lock vocabulary (Mutex wraps the
+  // raw std::mutex), so it is the one file allowed raw lock()/unlock().
+  const bool annotation_home = file.is("src/util/thread_safety.hpp");
+  const bool threaded_layer =
+      file.under("src/net") || file.under("src/parallel") ||
+      file.under("src/obs") || file.under("src/dist");
+  const auto& tokens = file.lex.tokens;
+  const std::set<std::string, std::less<>> guards =
+      collect_guard_names(tokens);
+
+  // R6b bookkeeping: first std::thread declaration, and whether the file has
+  // the machinery (a join, or at least a declared destructor for headers
+  // whose .cpp owns the join) to end those threads.
+  int thread_decl_line = 0;
+  bool has_join = false;
+  bool has_dtor = false;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (is_id(token, "join")) {
+      has_join = true;
+    } else if (is_punct(token, "~")) {
+      has_dtor = true;
+    }
+
+    // R6a: .lock()/.unlock() on anything that is not a named RAII guard.
+    if (!annotation_home &&
+        (is_punct(token, ".") || is_punct(token, "->")) &&
+        i + 2 < tokens.size() &&
+        (is_id(tokens[i + 1], "lock") || is_id(tokens[i + 1], "unlock")) &&
+        is_punct(tokens[i + 2], "(")) {
+      const std::string receiver =
+          (i > 0 && tokens[i - 1].kind == TokenKind::kIdentifier)
+              ? tokens[i - 1].text
+              : std::string();
+      if (guards.count(receiver) == 0) {
+        add_finding(file, rule, tokens[i + 1].line,
+                    "raw ." + tokens[i + 1].text +
+                        "() on a mutex; hold locks through RAII guards "
+                        "(MutexLock / std::lock_guard) so no exit path can "
+                        "leak the capability",
+                    out);
+      }
+    }
+
+    // R6c: detach() abandons a running thread past any join/destructor.
+    if (is_id(token, "detach") && i + 1 < tokens.size() &&
+        is_punct(tokens[i + 1], "(")) {
+      add_finding(file, rule, token.line,
+                  "detach() leaves a thread running past every join point; "
+                  "src/ threads must be join()ed on all destructor paths",
+                  out);
+    }
+
+    // R6b: record `std::thread name;` / `std::vector<std::thread> names_;`
+    // declarations (jthread self-joins and is exempt by spelling).
+    if (is_id(token, "thread")) {
+      std::size_t j = i + 1;
+      while (j < tokens.size() &&
+             (is_punct(tokens[j], ">") || is_punct(tokens[j], ">>"))) {
+        ++j;
+      }
+      if (j + 1 < tokens.size() &&
+          tokens[j].kind == TokenKind::kIdentifier &&
+          (is_punct(tokens[j + 1], ";") || is_punct(tokens[j + 1], "{") ||
+           is_punct(tokens[j + 1], "(")) &&
+          thread_decl_line == 0) {
+        thread_decl_line = token.line;
+      }
+    }
+
+    // R6e: a condition-variable wait with no predicate argument wakes
+    // spuriously; count top-level commas inside .wait(...).
+    if ((is_punct(token, ".") || is_punct(token, "->")) &&
+        i + 2 < tokens.size() && is_id(tokens[i + 1], "wait") &&
+        is_punct(tokens[i + 2], "(")) {
+      int depth = 1;
+      int commas = 0;
+      for (std::size_t j = i + 3; j < tokens.size() && depth > 0; ++j) {
+        if (tokens[j].kind != TokenKind::kPunct) {
+          continue;
+        }
+        const std::string& p = tokens[j].text;
+        if (p == "(" || p == "[" || p == "{") {
+          ++depth;
+        } else if (p == ")" || p == "]" || p == "}") {
+          --depth;
+        } else if (p == "," && depth == 1) {
+          ++commas;
+        }
+      }
+      if (commas == 0) {
+        add_finding(file, rule, tokens[i + 1].line,
+                    "wait() without a predicate returns on spurious wakeups; "
+                    "pass the condition as a predicate so the wait re-checks "
+                    "it under the lock",
+                    out);
+      }
+    }
+
+    // R6d: mutable static state in the threaded layers is shared across
+    // every thread that touches the code; require const/atomic/guarded
+    // types or a reasoned suppression.
+    if (threaded_layer && is_id(token, "static") &&
+        is_mutable_static_decl(tokens, i + 1)) {
+      add_finding(file, rule, token.line,
+                  "mutable 'static' state in a threaded layer; make it "
+                  "const/atomic/Mutex-protected or suppress with the reason "
+                  "it is safe",
+                  out);
+    }
+  }
+
+  if (thread_decl_line != 0 && !has_join &&
+      !(file.is_header && has_dtor)) {
+    add_finding(file, rule, thread_decl_line,
+                "std::thread declared but never join()ed in this file; every "
+                "destructor path must join (headers may defer to a declared "
+                "destructor)",
+                out);
+  }
+}
+
+// --- R7 layering -------------------------------------------------------------
+
+void check_layering(const FileContext& file, const Rule& rule,
+                    std::vector<Finding>& out) {
+  if (!file.under("src/")) {
+    return;
+  }
+  const LayerGraph& graph = active_layer_graph();
+  if (!graph.ok()) {
+    // A broken graph must fail loudly, not silently allow every edge.
+    add_finding(file, rule, 0,
+                "layer graph unavailable (" + graph.errors.front() +
+                    "); fix tools/marsit_lint/layers.txt or pass --layers",
+                out);
+    return;
+  }
+  const std::size_t slash = file.path.find('/', 4);  // past "src/"
+  if (slash == std::string::npos) {
+    return;  // file directly under src/ — not part of a layer
+  }
+  const std::string layer = file.path.substr(4, slash - 4);
+  const auto self = graph.deps.find(layer);
+  if (self == graph.deps.end()) {
+    add_finding(file, rule, 0,
+                "layer '" + layer +
+                    "' is not declared in tools/marsit_lint/layers.txt; add "
+                    "it with its allowed dependencies",
+                out);
+    return;
+  }
+  for (const Include& include : file.lex.includes) {
+    if (include.angled) {
+      continue;
+    }
+    const std::size_t sep = include.header.find('/');
+    if (sep == std::string::npos) {
+      continue;
+    }
+    const std::string target = include.header.substr(0, sep);
+    if (target == layer || graph.deps.count(target) == 0) {
+      continue;  // intra-layer, or not a layer-prefixed include
+    }
+    if (self->second.count(target) == 0) {
+      add_finding(file, rule, include.line,
+                  "include \"" + include.header +
+                      "\" is a layering back-edge: '" + layer +
+                      "' may not depend on '" + target +
+                      "' (tools/marsit_lint/layers.txt)",
+                  out);
+    }
+  }
+}
+
 // --- registry ----------------------------------------------------------------
 
 template <void (*Check)(const FileContext&, const Rule&,
@@ -475,6 +747,15 @@ const std::vector<Rule>& all_rules() {
        "obs metrics outside src/obs sit behind metrics_enabled() / "
        "TraceSession::current() guards",
        dispatch<check_obs_gating, 4>},
+      {"concurrency-discipline", "R6",
+       "src/: locks held through RAII guards only, threads joined on every "
+       "destructor path, no detach(), no mutable statics in threaded "
+       "layers, condition waits take predicates",
+       dispatch<check_concurrency, 5>},
+      {"layering", "R7",
+       "src/ includes respect the layer DAG committed in "
+       "tools/marsit_lint/layers.txt; back-edges are findings",
+       dispatch<check_layering, 6>},
   };
   return kRules;
 }

@@ -17,6 +17,14 @@
 //                       direct includes for the std symbols they use.
 //   R5 obs-gating       Observability calls outside src/obs must sit behind
 //                       obs::metrics_enabled() / TraceSession::current().
+//   R6 concurrency-     Lock discipline in src/: no raw .lock()/.unlock()
+//      discipline       outside RAII guards, std::thread members joined on
+//                       every destructor path, no detach(), no mutable
+//                       static state in threaded layers, condition-variable
+//                       waits always take a predicate.
+//   R7 layering         The include graph respects the committed layer DAG
+//                       (tools/marsit_lint/layers.txt); back-edges are
+//                       reported at the offending #include line.
 //
 // Rules fire as Findings; a finding is suppressed by a same-line or
 // preceding-line comment `// marsit-lint: allow(<rule>): <reason>` whose
